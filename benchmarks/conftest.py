@@ -1,0 +1,23 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the rows/series so the reproduced numbers are visible in the benchmark
+log.  Scales are reduced from the paper's (20 trials × 50 pages × 5 min)
+to keep a full ``pytest benchmarks/ --benchmark-only`` run in minutes; the
+studies accept larger configs for full-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduced figure with a banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def fig_printer():
+    return emit

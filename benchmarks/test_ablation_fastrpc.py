@@ -1,0 +1,58 @@
+"""Ablation: offload win vs FastRPC invocation cost.
+
+The §4.2 trade-off: per-call overhead eats the DSP's advantage.  At the
+measured ~0.3 ms invoke cost offloading wins; at ~10 ms per call it
+loses — quantifying how much batching/latency engineering the prototype
+depends on.
+"""
+
+import dataclasses
+
+from repro.analysis import render_table
+from repro.device import Device, PIXEL2
+from repro.dsp import DspScriptExecutor, FastRpcChannel
+from repro.netstack import Link
+from repro.sim import Environment
+from repro.web import BrowserEngine
+from repro.workloads import generate_corpus
+from repro.workloads.regexcorpus import RegexWorkloadFactory
+
+
+def load(page, invoke_s=None):
+    env = Environment()
+    device = Device(env, PIXEL2, governor="OD")
+    link = Link(env)
+    if invoke_s is None:
+        browser = BrowserEngine(env, device, link)
+    else:
+        channel = FastRpcChannel(env, device)
+        channel.dsp = dataclasses.replace(channel.dsp,
+                                          fastrpc_invoke_s=invoke_s)
+        browser = BrowserEngine(env, device, link,
+                                executor=DspScriptExecutor(channel))
+    return env.run(env.process(browser.load(page))).plt
+
+
+def run_ablation():
+    pages = generate_corpus(3, categories=("sports",),
+                            factory=RegexWorkloadFactory())
+    cpu = sum(load(p) for p in pages) / len(pages)
+    rows = []
+    for invoke_ms in (0.1, 0.3, 2.0, 10.0):
+        dsp = sum(load(p, invoke_s=invoke_ms / 1e3) for p in pages) / len(pages)
+        rows.append((invoke_ms, cpu, dsp, 1 - dsp / cpu))
+    return rows
+
+
+def test_ablation_fastrpc(benchmark, fig_printer):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = render_table(
+        ["Invoke cost (ms)", "CPU ePLT (s)", "DSP ePLT (s)", "Win"],
+        [[ms, f"{cpu:.2f}", f"{dsp:.2f}", f"{win:.1%}"]
+         for ms, cpu, dsp, win in rows],
+    )
+    fig_printer("Ablation: offload win vs FastRPC overhead", table)
+    wins = {ms: win for ms, _, _, win in rows}
+    assert wins[0.1] > wins[10.0]
+    assert wins[0.3] > 0.05    # the measured regime wins
+    assert wins[10.0] < 0.02   # pathological overhead erases the win

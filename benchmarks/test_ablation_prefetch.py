@@ -1,0 +1,59 @@
+"""Ablation: the read-ahead buffer masks network degradation (§3.2).
+
+A mid-stream throughput collapse (the LAN drops below the video bitrate
+for 40 s) is invisible with YouTube's 120 s read-ahead but causes heavy
+stalling with a near-empty buffer — why streaming tolerates slow/flaky
+paths that would destroy an interactive call.
+"""
+
+from repro.analysis import render_table
+from repro.device import Device, NEXUS4
+from repro.netstack import Link, LinkSpec
+from repro.sim import Environment
+from repro.video import PlayerConfig, StreamingPlayer, VideoSpec
+
+
+class OutageLink(Link):
+    """Link whose capacity collapses during [t0, t1)."""
+
+    def __init__(self, env, spec, outage=(30.0, 70.0), degraded_bps=1.0e6):
+        super().__init__(env, spec)
+        self.outage = outage
+        self.degraded_bps = degraded_bps
+
+    def serialization_time(self, nbytes: float) -> float:
+        start, end = self.outage
+        if start <= self.env.now < end:
+            return nbytes * 8.0 / self.degraded_bps
+        return super().serialization_time(nbytes)
+
+
+def play_with_read_ahead(read_ahead_s: float):
+    env = Environment()
+    device = Device(env, NEXUS4, governor="OD")
+    link = OutageLink(env, LinkSpec())
+    config = PlayerConfig(read_ahead_s=read_ahead_s)
+    player = StreamingPlayer(env, device, link, VideoSpec(duration_s=120),
+                             config)
+    return env.run(env.process(player.run()))
+
+
+def run_ablation():
+    return {
+        horizon: play_with_read_ahead(horizon)
+        for horizon in (2.0, 30.0, 120.0)
+    }
+
+
+def test_ablation_prefetch(benchmark, fig_printer):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = render_table(
+        ["Read-ahead (s)", "Stall ratio", "Startup (s)"],
+        [[h, f"{r.stall_ratio:.3f}", f"{r.startup_latency_s:.2f}"]
+         for h, r in sorted(results.items())],
+    )
+    fig_printer("Ablation: prefetch horizon vs a 40 s network outage", table)
+    # A 120 s buffer rides out the outage; a 2 s buffer stalls hard.
+    assert results[120.0].stall_ratio < 0.03
+    assert results[2.0].stall_ratio > 0.15
+    assert results[30.0].stall_ratio <= results[2.0].stall_ratio

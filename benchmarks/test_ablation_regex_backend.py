@@ -1,0 +1,52 @@
+"""Ablation: Pike VM vs lazy DFA on the page-corpus regex workload.
+
+The DFA fast path is what makes filter-style (``test``) calls cheap on
+the CPU and vectorizable on the DSP; forcing everything through the Pike
+VM shows how much that loop shape matters.
+"""
+
+from repro.analysis import render_table
+from repro.regexlib import Regex
+from repro.regexlib.pikevm import Counter
+from repro.regexlib import pikevm
+from repro.workloads.regexcorpus import PATTERN_LIBRARY, synth_url_list
+import random
+
+
+def run_ablation():
+    rng = random.Random(99)
+    subject = synth_url_list(rng, 40)
+    rows = []
+    for name, pattern, mode in PATTERN_LIBRARY:
+        if mode != "test":
+            continue
+        regex = Regex(pattern)
+        dfa = regex.dfa()
+        if dfa is None:
+            continue
+        pike_counter = Counter()
+        pikevm.run(regex.program, subject, counter=pike_counter)
+        dfa_cold = Counter()
+        dfa.matches(subject, dfa_cold)
+        dfa_warm = Counter()
+        dfa.matches(subject, dfa_warm)
+        rows.append((name, pike_counter.ops, dfa_cold.ops, dfa_warm.ops))
+    return rows
+
+
+def test_ablation_regex_backend(benchmark, fig_printer):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = render_table(
+        ["Pattern", "Pike VM ops", "DFA cold ops", "DFA warm ops"],
+        [[name, pike, cold, warm] for name, pike, cold, warm in rows],
+    )
+    fig_printer("Ablation: regex backend cost on filter patterns", table)
+    assert rows
+    for name, pike, cold, warm in rows:
+        # A long scan self-warms within a few transitions, so cold ≈ warm;
+        # the structural claim is that the DFA beats the Pike VM.
+        assert warm <= cold * 1.05
+        assert warm < pike, name
+    total_pike = sum(r[1] for r in rows)
+    total_warm = sum(r[3] for r in rows)
+    assert total_pike > 2 * total_warm

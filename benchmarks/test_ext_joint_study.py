@@ -1,0 +1,38 @@
+"""Extension bench (§6 future work): joint network×device grid + TLS tax.
+
+Not a paper figure — the study the paper's conclusion calls for, run on
+the same substrate.
+"""
+
+from repro.analysis import render_table
+from repro.core.studies import joint_network_device_grid, tls_overhead
+
+
+def run_extension():
+    grid = joint_network_device_grid(
+        bandwidths_mbps=(2.0, 8.0, 48.5), clocks_mhz=(384, 1512), n_pages=3
+    )
+    tls = tls_overhead(clocks_mhz=(384, 1512), n_pages=3)
+    return grid, tls
+
+
+def test_ext_joint(benchmark, fig_printer):
+    grid, tls = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    body = render_table(
+        ["Bandwidth (Mbps)", "Clock (MHz)", "PLT (s)", "Bound by"],
+        [[p.bandwidth_mbps, p.clock_mhz, f"{p.plt.mean:.2f}",
+          "device" if p.device_bound else "network"] for p in grid],
+    )
+    body += "\n\n" + render_table(
+        ["Clock (MHz)", "PLT TLS (s)", "PLT plain (s)", "TLS share"],
+        [[p.clock_mhz, f"{p.plt_tls.mean:.2f}", f"{p.plt_plain.mean:.2f}",
+          f"{p.tls_overhead_frac:.1%}"] for p in tls],
+    )
+    fig_printer("Extension: joint network x device impact and TLS tax", body)
+
+    by_cell = {(p.bandwidth_mbps, p.clock_mhz): p for p in grid}
+    # The paper's regime (fast LAN) is device-bound; a 2 Mbps path is not.
+    assert by_cell[(48.5, 384)].device_bound
+    assert not by_cell[(2.0, 1512)].device_bound
+    # TLS taxes every clock point.
+    assert all(p.tls_overhead_frac > 0.03 for p in tls)

@@ -1,0 +1,24 @@
+"""Fig 6: iperf TCP throughput vs CPU clock frequency (§4.1)."""
+
+from repro.analysis import ascii_series
+from repro.core.studies import throughput_vs_clock
+from repro.device import NEXUS4_LADDER
+
+
+def run_fig6():
+    return throughput_vs_clock(ladder=NEXUS4_LADDER, duration_s=8.0)
+
+
+def test_fig6(benchmark, fig_printer):
+    points = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    body = ascii_series({
+        "throughput (Mbps)": [(p.clock_mhz, p.throughput_mbps)
+                              for p in points]
+    })
+    fig_printer("Fig 6: TCP throughput vs clock frequency (Nexus4)", body)
+    by_clock = {p.clock_mhz: p.throughput_mbps for p in points}
+    # Paper: 48 Mbps at the top of the ladder, 32 Mbps at 384 MHz.
+    assert abs(by_clock[1512] - 48) < 3
+    assert abs(by_clock[384] - 32) < 3
+    values = [p.throughput_mbps for p in points]
+    assert all(a <= b + 0.5 for a, b in zip(values, values[1:]))

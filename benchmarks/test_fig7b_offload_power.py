@@ -1,0 +1,33 @@
+"""Fig 7b: CDF of power during JS execution, CPU vs DSP."""
+
+from repro.analysis import cdf_points
+from repro.analysis.stats import median
+from repro.core.studies import OffloadStudy, OffloadStudyConfig
+
+
+def run_fig7b():
+    study = OffloadStudy(OffloadStudyConfig(n_pages=4, trials=1))
+    return study.power_distributions()
+
+
+def _sparse_cdf(samples, n=8):
+    points = cdf_points(samples)
+    step = max(1, len(points) // n)
+    return points[::step]
+
+
+def test_fig7b(benchmark, fig_printer):
+    cpu_samples, dsp_samples = benchmark.pedantic(run_fig7b, rounds=1,
+                                                  iterations=1)
+    lines = ["CPU CDF (W, p):"]
+    lines += [f"  {w:5.2f} {p:4.2f}" for w, p in _sparse_cdf(cpu_samples)]
+    lines += ["DSP CDF (W, p):"]
+    lines += [f"  {w:5.2f} {p:4.2f}" for w, p in _sparse_cdf(dsp_samples)]
+    ratio = median(cpu_samples) / median(dsp_samples)
+    lines.append(f"median CPU {median(cpu_samples):.2f} W / "
+                 f"median DSP {median(dsp_samples):.2f} W = {ratio:.1f}x "
+                 f"(paper: ~4x)")
+    fig_printer("Fig 7b: power during JS execution (CPU vs DSP)", "\n".join(lines))
+
+    assert 2.5 < ratio < 6.0
+    assert median(dsp_samples) < 0.5

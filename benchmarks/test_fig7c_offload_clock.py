@@ -1,0 +1,25 @@
+"""Fig 7c: ePLT with/without DSP offloading at low pinned clocks."""
+
+from repro.analysis import render_table
+from repro.core.studies import OffloadStudy, OffloadStudyConfig
+
+
+def run_fig7c():
+    study = OffloadStudy(OffloadStudyConfig(n_pages=4, trials=1))
+    return study.eplt_vs_clock(clocks_mhz=(300, 441, 595, 748, 883))
+
+
+def test_fig7c(benchmark, fig_printer):
+    points = benchmark.pedantic(run_fig7c, rounds=1, iterations=1)
+    table = render_table(
+        ["Clock (MHz)", "CPU ePLT (s)", "DSP ePLT (s)", "Improvement"],
+        [[p.clock_mhz, f"{p.cpu_eplt.mean:.2f}", f"{p.dsp_eplt.mean:.2f}",
+          f"{p.improvement:.1%}"] for p in points],
+    )
+    fig_printer("Fig 7c: ePLT vs clock with and without offloading", table)
+
+    # Paper: offloading helps most at slow clocks (up to ~25 %).
+    assert points[0].improvement > points[-1].improvement
+    assert 0.15 < points[0].improvement < 0.40
+    for p in points:
+        assert p.dsp_eplt.mean < p.cpu_eplt.mean

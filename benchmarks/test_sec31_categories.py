@@ -1,0 +1,19 @@
+"""§3.1: news/sports pages are the most clock-sensitive categories."""
+
+from repro.analysis import ascii_bars
+from repro.core.studies import WebStudy, WebStudyConfig
+
+
+def run_categories():
+    study = WebStudy(WebStudyConfig(n_pages=10, trials=1))
+    return study.category_clock_sensitivity()
+
+
+def test_sec31_categories(benchmark, fig_printer):
+    sensitivity = benchmark.pedantic(run_categories, rounds=1, iterations=1)
+    body = ascii_bars(list(sensitivity), list(sensitivity.values()), unit="x")
+    fig_printer("Sec 3.1: PLT slowdown (384 vs 1512 MHz) by page category",
+                body)
+    assert sensitivity["news"] > sensitivity["business"]
+    assert sensitivity["sports"] > sensitivity["health"]
+    assert max(sensitivity.values()) > 2.8

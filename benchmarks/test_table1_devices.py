@@ -1,0 +1,24 @@
+"""Table 1: the device catalog."""
+
+from repro.analysis import render_table
+from repro.device import TABLE1_DEVICES
+
+
+def build_table():
+    rows = [
+        [spec.name, spec.soc, spec.n_cores, spec.os_version,
+         f"{spec.min_clock_mhz}-{spec.max_clock_mhz}", spec.gpu,
+         spec.memory_gb, spec.release, f"${spec.cost_usd}"]
+        for spec in TABLE1_DEVICES
+    ]
+    return render_table(
+        ["Device", "Processor", "Cores", "OS", "Clock (MHz)", "GPU",
+         "RAM (GB)", "Release", "Cost"],
+        rows,
+    )
+
+
+def test_table1(benchmark, fig_printer):
+    table = benchmark(build_table)
+    fig_printer("Table 1: devices and specifications", table)
+    assert "Pixel2" in table

@@ -1,0 +1,18 @@
+"""Analysis utilities: statistics, critical paths, tables, ASCII charts."""
+
+from repro.analysis.critpath import CriticalPath, extract_critical_path
+from repro.analysis.stats import Summary, cdf_points, mean, stdev, summarize
+from repro.analysis.tables import ascii_bars, ascii_series, render_table
+
+__all__ = [
+    "CriticalPath",
+    "Summary",
+    "ascii_bars",
+    "ascii_series",
+    "cdf_points",
+    "extract_critical_path",
+    "mean",
+    "render_table",
+    "stdev",
+    "summarize",
+]

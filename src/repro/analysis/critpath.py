@@ -1,0 +1,102 @@
+"""WProf-style critical-path extraction over a page-load activity DAG.
+
+The critical path is traced backward from the activity that determines the
+load event: at each step we move to the dependency that finished *last*
+(the one that gated this activity's start).  Time along the path is
+decomposed into:
+
+* per-kind activity durations (``parse``, ``script``, ``fetch``, …), and
+* *queueing gaps* between a dependency's end and the activity's start —
+  attributed as ``<kind>-queue`` (e.g. a script that sat behind other
+  main-thread work, or a fetch that waited for a connection slot).
+
+Compute time on the critical path = compute-kind durations + compute
+queueing; network time = fetch durations + fetch queueing.  This mirrors
+how WProf's dependency graphs separate computation from network activities
+(§3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+#: Activity kinds considered compute (main/raster-thread work).
+COMPUTE_KINDS = frozenset(
+    {"parse", "script", "style", "layout", "paint", "decode"}
+)
+#: Activity kinds considered network.
+NETWORK_KINDS = frozenset({"fetch"})
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.web.metrics import ActivityRecord
+
+
+@dataclass
+class CriticalPath:
+    """The extracted path and its time decomposition."""
+
+    activities: list["ActivityRecord"]
+    kind_breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_time(self) -> float:
+        """Compute durations + compute queueing along the path."""
+        return sum(
+            t for kind, t in self.kind_breakdown.items()
+            if kind in COMPUTE_KINDS
+            or (kind.endswith("-queue") and kind[:-6] in COMPUTE_KINDS)
+        )
+
+    @property
+    def network_time(self) -> float:
+        """Network durations + network queueing along the path."""
+        return sum(
+            t for kind, t in self.kind_breakdown.items()
+            if kind in NETWORK_KINDS
+            or (kind.endswith("-queue") and kind[:-6] in NETWORK_KINDS)
+        )
+
+    @property
+    def total(self) -> float:
+        return sum(self.kind_breakdown.values())
+
+
+def extract_critical_path(
+    activities: Sequence["ActivityRecord"], plt: float
+) -> CriticalPath:
+    """Trace the critical path backward from the last-finishing activity.
+
+    ``plt`` bounds the walk; any lead-in before the first activity (initial
+    DNS/navigation latency) is attributed to network queueing.
+    """
+    if not activities:
+        return CriticalPath([], {})
+    by_id = {a.id: a for a in activities}
+    breakdown: dict[str, float] = {}
+
+    def charge(kind: str, amount: float) -> None:
+        if amount > 1e-12:
+            breakdown[kind] = breakdown.get(kind, 0.0) + amount
+
+    current = max(activities, key=lambda a: a.end)
+    path = [current]
+    charge(current.kind, current.duration)
+    while True:
+        deps = [by_id[d] for d in current.deps if d in by_id]
+        if not deps:
+            break
+        gate = max(deps, key=lambda a: a.end)
+        # Queueing: the activity waited after its gating dep finished.
+        charge(f"{current.kind}-queue", max(current.start - gate.end, 0.0))
+        current = gate
+        path.append(current)
+        charge(current.kind, current.duration)
+    # Lead-in before the first activity (navigation DNS + handshakes).
+    charge("fetch-queue", max(current.start, 0.0))
+    path.reverse()
+    return CriticalPath(path, breakdown)
+
+
+__all__ = ["COMPUTE_KINDS", "CriticalPath", "NETWORK_KINDS",
+           "extract_critical_path"]

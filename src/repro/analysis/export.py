@@ -1,0 +1,39 @@
+"""Figure-data export: CSV/JSON files for external plotting.
+
+The benchmarks print text tables; downstream users who want to plot the
+reproduced figures with their own tooling can dump the underlying series
+with these helpers (used by the ``python -m repro`` CLI).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def write_csv(path: str | Path, headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> Path:
+    """Write one figure's rows as CSV; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return target
+
+
+def write_json(path: str | Path, payload: Mapping) -> Path:
+    """Write one figure's data as pretty JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+__all__ = ["write_csv", "write_json"]

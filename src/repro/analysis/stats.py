@@ -1,0 +1,90 @@
+"""Small statistics helpers used by studies and benches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/stdev/min/max of a sample (one figure bar with an error bar)."""
+
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.stdev:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample the way the paper reports repeated trials."""
+    if not values:
+        return Summary(0.0, 0.0, 0.0, 0.0, 0)
+    return Summary(mean(values), stdev(values), min(values), max(values),
+                   len(values))
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, probability) pairs (Fig 7b style)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+__all__ = [
+    "Summary",
+    "cdf_points",
+    "mean",
+    "median",
+    "percentile",
+    "stdev",
+    "summarize",
+]

@@ -1,0 +1,53 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints every reproduced table/figure as text so the
+"rows/series the paper reports" are visible in CI logs without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def ascii_bars(labels: Sequence[str], values: Sequence[float],
+               width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart (one figure panel) in plain text."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(points: Mapping[str, Sequence[tuple[float, float]]],
+                 width: int = 40) -> str:
+    """Multiple (x, y) series as aligned columns (figure line plots)."""
+    lines = []
+    for name, series in points.items():
+        lines.append(f"series: {name}")
+        peak = max((y for _, y in series), default=1.0) or 1.0
+        for x, y in series:
+            bar = "#" * max(1, round(width * y / peak)) if y > 0 else ""
+            lines.append(f"  {x:>10.6g} | {bar} {y:.3f}")
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_bars", "ascii_series", "render_table"]

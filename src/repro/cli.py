@@ -1,0 +1,287 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig6                 # print Fig 6's series
+    python -m repro fig3a --pages 10     # bigger corpus
+    python -m repro fig2a --csv out/     # also dump CSV data
+    python -m repro joint                # §6 extension studies
+
+Every command prints the same rows the corresponding benchmark asserts
+on, at a configurable scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis import render_table
+from repro.analysis.export import write_csv
+from repro.analysis.stats import median
+
+
+def _maybe_csv(args, name: str, headers, rows) -> None:
+    if args.csv:
+        path = write_csv(Path(args.csv) / f"{name}.csv", headers, rows)
+        print(f"[wrote {path}]")
+
+
+def cmd_table1(args) -> None:
+    from repro.device import TABLE1_DEVICES
+
+    headers = ["device", "soc", "cores", "os", "clock_mhz", "ram_gb", "cost_usd"]
+    rows = [
+        [s.name, s.soc, s.n_cores, s.os_version,
+         f"{s.min_clock_mhz}-{s.max_clock_mhz}", s.memory_gb, s.cost_usd]
+        for s in TABLE1_DEVICES
+    ]
+    print(render_table(headers, rows))
+    _maybe_csv(args, "table1", headers, rows)
+
+
+def cmd_fig1(args) -> None:
+    from repro.core.studies import evolution_timeline
+
+    points = evolution_timeline(n_pages=max(args.pages // 2, 1))
+    headers = ["year", "plt_s", "clock_ghz", "cores", "memory_gb",
+               "os_version", "page_mb"]
+    rows = [[p.year, f"{p.plt_s:.2f}", p.clock_ghz, p.cores, p.memory_gb,
+             p.os_version, f"{p.page_size_mb:.1f}"] for p in points]
+    print(render_table(headers, rows))
+    _maybe_csv(args, "fig1", headers, rows)
+
+
+def cmd_fig2(args) -> None:
+    from repro.core.studies import (
+        RtcStudy, RtcStudyConfig, VideoStudy, VideoStudyConfig,
+        WebStudy, WebStudyConfig,
+    )
+    from repro.rtc import CallConfig
+    from repro.video import VideoSpec
+
+    web = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials))
+    video = VideoStudy(VideoStudyConfig(
+        clip=VideoSpec(duration_s=args.media_s), trials=args.trials))
+    rtc = RtcStudy(RtcStudyConfig(
+        call=CallConfig(call_duration_s=min(args.media_s, 20)),
+        trials=args.trials))
+    web_rows = {s.name: v for s, v in web.qoe_across_devices()}
+    video_rows = {p.label: p for p in video.qoe_across_devices()}
+    rtc_rows = {p.label: p for p in rtc.qoe_across_devices()}
+    headers = ["device", "plt_s", "plt_std", "startup_s", "stall_ratio", "fps"]
+    rows = [
+        [name, f"{web_rows[name].mean:.2f}", f"{web_rows[name].stdev:.2f}",
+         f"{video_rows[name].startup.mean:.2f}",
+         f"{video_rows[name].stall_ratio.mean:.3f}",
+         f"{rtc_rows[name].frame_rate.mean:.1f}"]
+        for name in web_rows
+    ]
+    print(render_table(headers, rows))
+    _maybe_csv(args, "fig2", headers, rows)
+
+
+def cmd_fig3a(args) -> None:
+    from repro.core.studies import WebStudy, WebStudyConfig
+    from repro.device import NEXUS4_LADDER
+
+    study = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials))
+    points = study.plt_vs_clock(ladder=NEXUS4_LADDER)
+    headers = ["clock_mhz", "plt_s", "plt_std", "cp_compute_s",
+               "cp_network_s", "scripting_share"]
+    rows = [[p.clock_mhz, f"{p.plt.mean:.2f}", f"{p.plt.stdev:.2f}",
+             f"{p.compute_time.mean:.2f}", f"{p.network_time.mean:.2f}",
+             f"{p.scripting_share:.3f}"] for p in points]
+    print(render_table(headers, rows))
+    _maybe_csv(args, "fig3a", headers, rows)
+
+
+def cmd_fig3bcd(args) -> None:
+    from repro.core.studies import WebStudy, WebStudyConfig
+
+    study = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials))
+    print("Fig 3b (memory):")
+    mem_rows = [[gb, f"{s.mean:.2f}"] for gb, s in study.plt_vs_memory()]
+    print(render_table(["memory_gb", "plt_s"], mem_rows))
+    print("\nFig 3c (cores):")
+    core_rows = [[n, f"{s.mean:.2f}"] for n, s in study.plt_vs_cores()]
+    print(render_table(["cores", "plt_s"], core_rows))
+    print("\nFig 3d (governors):")
+    gov_rows = [[g, f"{s.mean:.2f}"] for g, s in study.plt_vs_governor()]
+    print(render_table(["governor", "plt_s"], gov_rows))
+    _maybe_csv(args, "fig3b", ["memory_gb", "plt_s"], mem_rows)
+    _maybe_csv(args, "fig3c", ["cores", "plt_s"], core_rows)
+    _maybe_csv(args, "fig3d", ["governor", "plt_s"], gov_rows)
+
+
+def cmd_fig4(args) -> None:
+    from repro.core.studies import VideoStudy, VideoStudyConfig
+    from repro.device import NEXUS4_LADDER
+    from repro.video import VideoSpec
+
+    study = VideoStudy(VideoStudyConfig(
+        clip=VideoSpec(duration_s=args.media_s), trials=args.trials))
+    sweeps = {
+        "fig4a_clock": study.vs_clock(ladder=NEXUS4_LADDER),
+        "fig4b_memory": study.vs_memory(),
+        "fig4c_cores": study.vs_cores(),
+        "fig4d_governor": study.vs_governor(),
+    }
+    headers = ["x", "startup_s", "stall_ratio"]
+    for name, points in sweeps.items():
+        print(f"\n{name}:")
+        rows = [[p.label, f"{p.startup.mean:.2f}",
+                 f"{p.stall_ratio.mean:.3f}"] for p in points]
+        print(render_table(headers, rows))
+        _maybe_csv(args, name, headers, rows)
+
+
+def cmd_fig5(args) -> None:
+    from repro.core.studies import RtcStudy, RtcStudyConfig
+    from repro.device import NEXUS4_LADDER
+    from repro.rtc import CallConfig
+
+    study = RtcStudy(RtcStudyConfig(
+        call=CallConfig(call_duration_s=min(args.media_s, 20)),
+        trials=args.trials))
+    sweeps = {
+        "fig5a_clock": study.vs_clock(ladder=NEXUS4_LADDER),
+        "fig5b_memory": study.vs_memory(),
+        "fig5c_cores": study.vs_cores(),
+        "fig5d_governor": study.vs_governor(),
+    }
+    headers = ["x", "setup_delay_s", "frame_rate_fps"]
+    for name, points in sweeps.items():
+        print(f"\n{name}:")
+        rows = [[p.label, f"{p.setup_delay.mean:.1f}",
+                 f"{p.frame_rate.mean:.1f}"] for p in points]
+        print(render_table(headers, rows))
+        _maybe_csv(args, name, headers, rows)
+
+
+def cmd_fig6(args) -> None:
+    from repro.core.studies import throughput_vs_clock
+
+    points = throughput_vs_clock(duration_s=max(args.media_s / 10, 5))
+    headers = ["clock_mhz", "throughput_mbps"]
+    rows = [[p.clock_mhz, f"{p.throughput_mbps:.2f}"] for p in points]
+    print(render_table(headers, rows))
+    _maybe_csv(args, "fig6", headers, rows)
+
+
+def cmd_fig7(args) -> None:
+    from repro.core.studies import OffloadStudy, OffloadStudyConfig
+
+    study = OffloadStudy(OffloadStudyConfig(n_pages=args.pages,
+                                            trials=args.trials))
+    cmp = study.compare_default_governor()
+    print("Fig 7a (default governor):")
+    rows_a = [
+        ["CPU", f"{cmp.cpu_scripting.mean:.2f}", f"{cmp.cpu_eplt.mean:.2f}"],
+        ["DSP", f"{cmp.dsp_scripting.mean:.2f}", f"{cmp.dsp_eplt.mean:.2f}"],
+    ]
+    print(render_table(["executor", "scripting_s", "eplt_s"], rows_a))
+    print(f"ePLT improvement: {cmp.eplt_improvement:.1%}")
+    cpu_w, dsp_w = study.power_distributions()
+    print(f"\nFig 7b: median power CPU {median(cpu_w):.2f} W, "
+          f"DSP {median(dsp_w):.2f} W "
+          f"({median(cpu_w) / median(dsp_w):.1f}x)")
+    print("\nFig 7c (pinned low clocks):")
+    rows_c = [[p.clock_mhz, f"{p.cpu_eplt.mean:.2f}",
+               f"{p.dsp_eplt.mean:.2f}", f"{p.improvement:.1%}"]
+              for p in study.eplt_vs_clock()]
+    print(render_table(["clock_mhz", "cpu_eplt_s", "dsp_eplt_s", "win"],
+                       rows_c))
+    _maybe_csv(args, "fig7a", ["executor", "scripting_s", "eplt_s"], rows_a)
+    _maybe_csv(args, "fig7c",
+               ["clock_mhz", "cpu_eplt_s", "dsp_eplt_s", "win"], rows_c)
+
+
+def cmd_joint(args) -> None:
+    from repro.core.studies import (
+        browsers_vs_clock, joint_network_device_grid, tls_overhead,
+    )
+
+    print("Joint network x device grid:")
+    headers = ["bandwidth_mbps", "clock_mhz", "plt_s", "bound"]
+    rows = [
+        [p.bandwidth_mbps, p.clock_mhz, f"{p.plt.mean:.2f}",
+         "device" if p.device_bound else "network"]
+        for p in joint_network_device_grid(n_pages=args.pages)
+    ]
+    print(render_table(headers, rows))
+    _maybe_csv(args, "joint_grid", headers, rows)
+
+    print("\nTLS overhead vs clock:")
+    tls_rows = [
+        [p.clock_mhz, f"{p.plt_tls.mean:.2f}", f"{p.plt_plain.mean:.2f}",
+         f"{p.tls_overhead_frac:.1%}"]
+        for p in tls_overhead(n_pages=args.pages)
+    ]
+    print(render_table(["clock_mhz", "plt_tls_s", "plt_plain_s",
+                        "tls_share"], tls_rows))
+    _maybe_csv(args, "tls_overhead",
+               ["clock_mhz", "plt_tls_s", "plt_plain_s", "tls_share"],
+               tls_rows)
+
+    print("\nBrowser profiles vs clock:")
+    table = browsers_vs_clock(n_pages=args.pages)
+    browser_rows = [
+        [name, f"{cols[384].mean:.2f}", f"{cols[1512].mean:.2f}",
+         f"{cols[384].mean / cols[1512].mean:.2f}"]
+        for name, cols in table.items()
+    ]
+    print(render_table(["browser", "plt@384", "plt@1512", "slowdown"],
+                       browser_rows))
+    _maybe_csv(args, "browsers",
+               ["browser", "plt_384", "plt_1512", "slowdown"], browser_rows)
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "fig3a": cmd_fig3a,
+    "fig3bcd": cmd_fig3bcd,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "joint": cmd_joint,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures from 'Impact of Device Performance "
+                    "on Mobile Internet QoE' (IMC 2018).",
+    )
+    parser.add_argument("figure",
+                        choices=sorted(_COMMANDS) + ["list"],
+                        help="which figure to regenerate")
+    parser.add_argument("--pages", type=int, default=5,
+                        help="pages per corpus (paper scale: 50)")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="seeded repetitions (paper scale: 20)")
+    parser.add_argument("--media-s", type=float, default=60.0,
+                        help="media session length in seconds (paper: 300)")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write the series as CSV under DIR")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        for name in sorted(_COMMANDS):
+            print(name)
+        return 0
+    _COMMANDS[args.figure](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""The paper's contribution layer: QoE studies and the offload evaluation.
+
+Everything below maps one-to-one onto the paper's evaluation:
+
+* :mod:`repro.core.studies.web` — Figs 2a, 3a–3d, §3.1 categories
+* :mod:`repro.core.studies.video` — Figs 2b, 4a–4d
+* :mod:`repro.core.studies.rtc` — Figs 2c, 5a–5d
+* :mod:`repro.core.studies.network` — Fig 6 (iperf vs clock)
+* :mod:`repro.core.studies.offload` — Figs 7a–7c (DSP regex offload)
+* :mod:`repro.core.studies.history` — Fig 1 (2011–2018 evolution)
+
+:mod:`repro.core.experiments` provides the trial runner (seeded repeats →
+mean/std, the paper's 20-repetition methodology) and
+:mod:`repro.core.background` the background-load jitter that gives
+low-end devices their larger error bars.
+"""
+
+from repro.core.experiments import TrialRunner, trial_summary
+from repro.core.background import BackgroundLoad
+
+__all__ = ["BackgroundLoad", "TrialRunner", "trial_summary"]

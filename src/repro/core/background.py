@@ -1,0 +1,50 @@
+"""Background OS activity: the jitter source behind the paper's error bars.
+
+Android services, sync adapters, and kernel housekeeping steal CPU in
+short bursts.  On a fast phone a 20 M-op burst is invisible (<4 ms); on an
+Intex it is ~30 ms and occasionally lands on the core running the
+browser's main thread — which is why the paper's low-end PLT standard
+deviation (>3 s) dwarfs the Pixel2's.
+
+Each trial seeds its own :class:`random.Random`, making runs repeatable
+while still spreading across trials.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.device import Device
+from repro.sim import Environment
+
+
+class BackgroundLoad:
+    """Periodic CPU bursts from OS services."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: Device,
+        rng: random.Random,
+        mean_interval_s: float = 0.8,
+        burst_ops_range: tuple[float, float] = (8e6, 60e6),
+    ):
+        if mean_interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.device = device
+        self.rng = rng
+        self.mean_interval_s = mean_interval_s
+        self.burst_ops_range = burst_ops_range
+        self.bursts = 0
+        env.process(self._run())
+
+    def _run(self):
+        low, high = self.burst_ops_range
+        while True:
+            yield self.env.timeout(self.rng.expovariate(1.0 / self.mean_interval_s))
+            self.device.submit(self.rng.uniform(low, high))
+            self.bursts += 1
+
+
+__all__ = ["BackgroundLoad"]

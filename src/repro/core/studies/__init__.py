@@ -1,0 +1,29 @@
+"""Study definitions, one module per paper figure family."""
+
+from repro.core.studies.web import WebStudy, WebStudyConfig
+from repro.core.studies.video import VideoStudy, VideoStudyConfig
+from repro.core.studies.rtc import RtcStudy, RtcStudyConfig
+from repro.core.studies.network import throughput_vs_clock
+from repro.core.studies.offload import OffloadStudy, OffloadStudyConfig
+from repro.core.studies.history import evolution_timeline
+from repro.core.studies.joint import (
+    browsers_vs_clock,
+    joint_network_device_grid,
+    tls_overhead,
+)
+
+__all__ = [
+    "browsers_vs_clock",
+    "joint_network_device_grid",
+    "tls_overhead",
+    "OffloadStudy",
+    "OffloadStudyConfig",
+    "RtcStudy",
+    "RtcStudyConfig",
+    "VideoStudy",
+    "VideoStudyConfig",
+    "WebStudy",
+    "WebStudyConfig",
+    "evolution_timeline",
+    "throughput_vs_clock",
+]

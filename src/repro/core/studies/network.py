@@ -1,0 +1,41 @@
+"""Clock-frequency impact on TCP throughput (Fig 6, §4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.device import DeviceSpec, NEXUS4
+from repro.netstack import LinkSpec, run_iperf
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One x-position of Fig 6."""
+
+    clock_mhz: int
+    throughput_mbps: float
+
+
+def throughput_vs_clock(
+    spec: DeviceSpec = NEXUS4,
+    ladder: Optional[Sequence[int]] = None,
+    duration_s: float = 15.0,
+    link: LinkSpec = LinkSpec(),
+) -> list[ThroughputPoint]:
+    """iperf throughput at each pinned clock (the paper's 12-step sweep).
+
+    The paper measures 5 minutes × 20 repetitions; the simulation is
+    deterministic and converges within seconds, so ``duration_s`` defaults
+    far lower.
+    """
+    ladder = ladder or spec.clusters[0].freqs_mhz
+    points = []
+    for mhz in ladder:
+        result = run_iperf(spec, clock_mhz=mhz, duration_s=duration_s,
+                           link_spec=link)
+        points.append(ThroughputPoint(mhz, result.throughput_mbps))
+    return points
+
+
+__all__ = ["ThroughputPoint", "throughput_vs_clock"]

@@ -1,0 +1,111 @@
+"""Video-telephony QoE studies (Figs 2c, 5a–5d)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.background import BackgroundLoad
+from repro.core.experiments import derive_seed
+from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
+from repro.netstack import Link, LinkSpec
+from repro.rtc import CallConfig, CallResult, VideoCall
+from repro.sim import Environment
+
+
+@dataclass
+class RtcStudyConfig:
+    """Scale knobs for the call experiments."""
+
+    call: CallConfig = field(default_factory=lambda: CallConfig(call_duration_s=20.0))
+    trials: int = 3
+    link: LinkSpec = field(default_factory=LinkSpec)
+    background_jitter: bool = True
+
+
+@dataclass
+class CallPoint:
+    """One figure x-position: setup delay and frame rate."""
+
+    label: object
+    setup_delay: Summary
+    frame_rate: Summary
+
+
+class RtcStudy:
+    """Parameterized call sweeps on the simulated testbed."""
+
+    def __init__(self, config: Optional[RtcStudyConfig] = None):
+        self.config = config or RtcStudyConfig()
+
+    def call_once(self, spec: DeviceSpec, seed: int,
+                  **device_kwargs) -> CallResult:
+        """One call on a fresh device."""
+        env = Environment()
+        device = Device(env, spec, **device_kwargs)
+        if self.config.background_jitter:
+            BackgroundLoad(env, device, random.Random(seed))
+        call = VideoCall(env, device, Link(env, self.config.link),
+                         self.config.call)
+        return env.run(env.process(call.run()))
+
+    def _point(self, spec: DeviceSpec, label: object, experiment: str,
+               **device_kwargs) -> CallPoint:
+        results = [
+            self.call_once(spec, derive_seed(experiment, t), **device_kwargs)
+            for t in range(self.config.trials)
+        ]
+        return CallPoint(
+            label=label,
+            setup_delay=summarize([r.setup_delay_s for r in results]),
+            frame_rate=summarize([r.frame_rate for r in results]),
+        )
+
+    def qoe_across_devices(
+        self, devices: Sequence[DeviceSpec] = TABLE1_DEVICES
+    ) -> list[CallPoint]:
+        """Frame rate per Table 1 device (Fig 2c)."""
+        return [
+            self._point(spec, spec.name, f"fig2c:{spec.name}", governor="OD")
+            for spec in devices
+        ]
+
+    def vs_clock(self, spec: DeviceSpec = NEXUS4,
+                 ladder: Optional[Sequence[int]] = None) -> list[CallPoint]:
+        """Fig 5a: the DVFS ladder sweep."""
+        ladder = ladder or spec.clusters[0].freqs_mhz
+        return [
+            self._point(spec, mhz, f"fig5a:{mhz}", pinned_mhz=mhz)
+            for mhz in ladder
+        ]
+
+    def vs_memory(self, spec: DeviceSpec = NEXUS4,
+                  sizes_gb: Sequence[float] = (0.5, 1.0, 1.5, 2.0)
+                  ) -> list[CallPoint]:
+        """Fig 5b: memory sweep."""
+        return [
+            self._point(spec, gb, f"fig5b:{gb}", governor="OD", memory_gb=gb)
+            for gb in sizes_gb
+        ]
+
+    def vs_cores(self, spec: DeviceSpec = NEXUS4,
+                 cores: Sequence[int] = (1, 2, 3, 4)) -> list[CallPoint]:
+        """Fig 5c: core-count sweep."""
+        return [
+            self._point(spec, n, f"fig5c:{n}", governor="OD", online_cores=n)
+            for n in cores
+        ]
+
+    def vs_governor(self, spec: DeviceSpec = NEXUS4,
+                    governors: Sequence[str] = GOVERNOR_CODES
+                    ) -> list[CallPoint]:
+        """Fig 5d: governor sweep (PF IN US OD PW)."""
+        return [
+            self._point(spec, code, f"fig5d:{code}", governor=code)
+            for code in governors
+        ]
+
+
+__all__ = ["CallPoint", "RtcStudy", "RtcStudyConfig"]

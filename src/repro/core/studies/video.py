@@ -1,0 +1,111 @@
+"""Video-streaming QoE studies (Figs 2b, 4a–4d)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.background import BackgroundLoad
+from repro.core.experiments import derive_seed
+from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
+from repro.netstack import Link, LinkSpec
+from repro.sim import Environment
+from repro.video import StreamingPlayer, StreamingResult, VideoSpec
+
+
+@dataclass
+class VideoStudyConfig:
+    """Scale knobs: the paper streams a 5-min FullHD clip 20 times."""
+
+    clip: VideoSpec = field(default_factory=lambda: VideoSpec(duration_s=120.0))
+    trials: int = 3
+    link: LinkSpec = field(default_factory=LinkSpec)
+    background_jitter: bool = True
+
+
+@dataclass
+class StreamingPoint:
+    """One figure x-position: start-up latency and stall ratio."""
+
+    label: object
+    startup: Summary
+    stall_ratio: Summary
+
+
+class VideoStudy:
+    """Parameterized streaming sweeps on the simulated testbed."""
+
+    def __init__(self, config: Optional[VideoStudyConfig] = None):
+        self.config = config or VideoStudyConfig()
+
+    def stream_once(self, spec: DeviceSpec, seed: int,
+                    **device_kwargs) -> StreamingResult:
+        """One full streaming session on a fresh device."""
+        env = Environment()
+        device = Device(env, spec, **device_kwargs)
+        if self.config.background_jitter:
+            BackgroundLoad(env, device, random.Random(seed))
+        player = StreamingPlayer(env, device, Link(env, self.config.link),
+                                 self.config.clip)
+        return env.run(env.process(player.run()))
+
+    def _point(self, spec: DeviceSpec, label: object, experiment: str,
+               **device_kwargs) -> StreamingPoint:
+        results = [
+            self.stream_once(spec, derive_seed(experiment, t), **device_kwargs)
+            for t in range(self.config.trials)
+        ]
+        return StreamingPoint(
+            label=label,
+            startup=summarize([r.startup_latency_s for r in results]),
+            stall_ratio=summarize([r.stall_ratio for r in results]),
+        )
+
+    def qoe_across_devices(
+        self, devices: Sequence[DeviceSpec] = TABLE1_DEVICES
+    ) -> list[StreamingPoint]:
+        """Start-up latency / stall ratio per Table 1 device (Fig 2b)."""
+        return [
+            self._point(spec, spec.name, f"fig2b:{spec.name}", governor="OD")
+            for spec in devices
+        ]
+
+    def vs_clock(self, spec: DeviceSpec = NEXUS4,
+                 ladder: Optional[Sequence[int]] = None) -> list[StreamingPoint]:
+        """Fig 4a: the DVFS ladder sweep."""
+        ladder = ladder or spec.clusters[0].freqs_mhz
+        return [
+            self._point(spec, mhz, f"fig4a:{mhz}", pinned_mhz=mhz)
+            for mhz in ladder
+        ]
+
+    def vs_memory(self, spec: DeviceSpec = NEXUS4,
+                  sizes_gb: Sequence[float] = (0.5, 1.0, 1.5, 2.0)
+                  ) -> list[StreamingPoint]:
+        """Fig 4b: memory sweep."""
+        return [
+            self._point(spec, gb, f"fig4b:{gb}", governor="OD", memory_gb=gb)
+            for gb in sizes_gb
+        ]
+
+    def vs_cores(self, spec: DeviceSpec = NEXUS4,
+                 cores: Sequence[int] = (1, 2, 3, 4)) -> list[StreamingPoint]:
+        """Fig 4c: core-count sweep."""
+        return [
+            self._point(spec, n, f"fig4c:{n}", governor="OD", online_cores=n)
+            for n in cores
+        ]
+
+    def vs_governor(self, spec: DeviceSpec = NEXUS4,
+                    governors: Sequence[str] = GOVERNOR_CODES
+                    ) -> list[StreamingPoint]:
+        """Fig 4d: governor sweep (PF IN US OD PW)."""
+        return [
+            self._point(spec, code, f"fig4d:{code}", governor=code)
+            for code in governors
+        ]
+
+
+__all__ = ["StreamingPoint", "VideoStudy", "VideoStudyConfig"]

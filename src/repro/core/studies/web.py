@@ -1,0 +1,212 @@
+"""Web-browsing QoE studies (Figs 2a, 3a–3d; §3.1).
+
+Each method sweeps one device parameter while holding everything else at
+defaults, exactly as §3 prescribes ("the effect of a given resource is
+isolated by changing its value while keeping the remaining setup
+constant"), loading the Alexa-like corpus repeatedly with per-trial
+background jitter and reporting mean ± std.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.background import BackgroundLoad
+from repro.core.experiments import derive_seed
+from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
+from repro.netstack import Link, LinkSpec
+from repro.sim import Environment
+from repro.web import BrowserEngine, PageLoadResult
+from repro.workloads import generate_corpus
+from repro.workloads.pages import CATEGORIES, PageSpec
+from repro.workloads.regexcorpus import RegexWorkloadFactory
+
+
+@dataclass
+class WebStudyConfig:
+    """Scale and environment of the study.
+
+    The paper loads the top 50 pages 20 times; simulation defaults are
+    smaller for CI speed — raise ``n_pages``/``trials`` for full scale.
+    """
+
+    n_pages: int = 10
+    trials: int = 3
+    categories: Sequence[str] = CATEGORIES
+    link: LinkSpec = field(default_factory=LinkSpec)
+    background_jitter: bool = True
+
+
+@dataclass
+class ClockSweepPoint:
+    """One x-position of Fig 3a with its §3.1 decomposition."""
+
+    clock_mhz: int
+    plt: Summary
+    compute_time: Summary
+    network_time: Summary
+    scripting_share: float
+    layout_paint_share: float
+
+
+class WebStudy:
+    """Shared page corpus + parameterized page-load sweeps."""
+
+    def __init__(self, config: Optional[WebStudyConfig] = None):
+        self.config = config or WebStudyConfig()
+        self._factory = RegexWorkloadFactory()
+        self.corpus: list[PageSpec] = generate_corpus(
+            self.config.n_pages, categories=tuple(self.config.categories),
+            factory=self._factory,
+        )
+
+    # -- one load ---------------------------------------------------------
+
+    def load_page(self, spec: DeviceSpec, page: PageSpec, seed: int,
+                  **device_kwargs) -> PageLoadResult:
+        """Load one page on a fresh simulated device; returns the result."""
+        env = Environment()
+        device = Device(env, spec, **device_kwargs)
+        if self.config.background_jitter:
+            BackgroundLoad(env, device, random.Random(seed))
+        browser = BrowserEngine(env, device, Link(env, self.config.link))
+        return env.run(env.process(browser.load(page)))
+
+    def _results(self, spec: DeviceSpec, experiment: str,
+                 pages: Optional[Sequence[PageSpec]] = None,
+                 **device_kwargs) -> list[PageLoadResult]:
+        out = []
+        for trial in range(self.config.trials):
+            seed = derive_seed(experiment, trial)
+            for page in pages or self.corpus:
+                out.append(self.load_page(spec, page, seed, **device_kwargs))
+        return out
+
+    def plt_summary(self, spec: DeviceSpec, experiment: str,
+                    pages: Optional[Sequence[PageSpec]] = None,
+                    **device_kwargs) -> Summary:
+        """Mean ± std PLT across pages × trials for one configuration."""
+        results = self._results(spec, experiment, pages, **device_kwargs)
+        return summarize([r.plt for r in results])
+
+    # -- Fig 2a -------------------------------------------------------------
+
+    def qoe_across_devices(
+        self, devices: Sequence[DeviceSpec] = TABLE1_DEVICES
+    ) -> list[tuple[DeviceSpec, Summary]]:
+        """PLT per Table 1 device at the default governor (Fig 2a)."""
+        return [
+            (spec, self.plt_summary(spec, f"fig2a:{spec.name}", governor="OD"))
+            for spec in devices
+        ]
+
+    # -- Fig 3a -------------------------------------------------------------
+
+    def plt_vs_clock(
+        self,
+        spec: DeviceSpec = NEXUS4,
+        ladder: Optional[Sequence[int]] = None,
+    ) -> list[ClockSweepPoint]:
+        """PLT and critical-path decomposition across the DVFS ladder."""
+        ladder = ladder or spec.clusters[0].freqs_mhz
+        points = []
+        for mhz in ladder:
+            results = self._results(spec, f"fig3a:{mhz}", pinned_mhz=mhz)
+            points.append(ClockSweepPoint(
+                clock_mhz=mhz,
+                plt=summarize([r.plt for r in results]),
+                compute_time=summarize([r.compute_time for r in results]),
+                network_time=summarize([r.network_time for r in results]),
+                scripting_share=(
+                    sum(r.scripting_share for r in results) / len(results)
+                ),
+                layout_paint_share=(
+                    sum(r.layout_paint_share for r in results) / len(results)
+                ),
+            ))
+        return points
+
+    # -- Fig 3b/3c/3d ---------------------------------------------------------
+
+    def plt_vs_memory(
+        self, spec: DeviceSpec = NEXUS4,
+        sizes_gb: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    ) -> list[tuple[float, Summary]]:
+        """PLT for RAM-disk-restricted memory sizes (Fig 3b)."""
+        return [
+            (gb, self.plt_summary(spec, f"fig3b:{gb}", governor="OD",
+                                  memory_gb=gb))
+            for gb in sizes_gb
+        ]
+
+    def plt_vs_cores(
+        self, spec: DeviceSpec = NEXUS4,
+        cores: Sequence[int] = (1, 2, 3, 4),
+    ) -> list[tuple[int, Summary]]:
+        """PLT with cores hot-unplugged (Fig 3c)."""
+        return [
+            (n, self.plt_summary(spec, f"fig3c:{n}", governor="OD",
+                                 online_cores=n))
+            for n in cores
+        ]
+
+    def plt_vs_governor(
+        self, spec: DeviceSpec = NEXUS4,
+        governors: Sequence[str] = GOVERNOR_CODES,
+    ) -> list[tuple[str, Summary]]:
+        """PLT per frequency governor (Fig 3d; PF IN US OD PW)."""
+        return [
+            (code, self.plt_summary(spec, f"fig3d:{code}", governor=code))
+            for code in governors
+        ]
+
+    # -- §3.1: category sensitivity -------------------------------------------
+
+    def category_clock_sensitivity(
+        self, spec: DeviceSpec = NEXUS4,
+        high_mhz: Optional[int] = None, low_mhz: Optional[int] = None,
+    ) -> dict[str, float]:
+        """Per-category PLT(low clock)/PLT(high clock) slowdown factors.
+
+        The paper finds news/sports pages ≈6× more affected because they
+        are script-heavy.
+        """
+        high_mhz = high_mhz or spec.max_clock_mhz
+        low_mhz = low_mhz or spec.min_clock_mhz
+        sensitivity: dict[str, float] = {}
+        for category in self.config.categories:
+            pages = [p for p in self.corpus if p.category == category]
+            if not pages:
+                continue
+            fast = self.plt_summary(spec, f"cat:{category}:hi", pages,
+                                    pinned_mhz=high_mhz)
+            slow = self.plt_summary(spec, f"cat:{category}:lo", pages,
+                                    pinned_mhz=low_mhz)
+            sensitivity[category] = slow.mean / fast.mean
+        return sensitivity
+
+    def category_plt_deltas(
+        self, spec: DeviceSpec = NEXUS4,
+        high_mhz: Optional[int] = None, low_mhz: Optional[int] = None,
+    ) -> dict[str, float]:
+        """Absolute PLT penalty (seconds added by the slow clock) per
+        category — the script-heavy categories pay severalfold more."""
+        high_mhz = high_mhz or spec.max_clock_mhz
+        low_mhz = low_mhz or spec.min_clock_mhz
+        deltas: dict[str, float] = {}
+        for category in self.config.categories:
+            pages = [p for p in self.corpus if p.category == category]
+            if not pages:
+                continue
+            fast = self.plt_summary(spec, f"catd:{category}:hi", pages,
+                                    pinned_mhz=high_mhz)
+            slow = self.plt_summary(spec, f"catd:{category}:lo", pages,
+                                    pinned_mhz=low_mhz)
+            deltas[category] = slow.mean - fast.mean
+        return deltas
+
+
+__all__ = ["ClockSweepPoint", "WebStudy", "WebStudyConfig"]

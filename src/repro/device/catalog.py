@@ -1,0 +1,234 @@
+"""The seven phones of Table 1, as parametric device specs.
+
+Clock ladders match the figures: the Nexus4 ladder is exactly the twelve
+x-axis steps of Fig 3a/4a/5a/6 (384–1512 MHz) and the low end of the
+Pixel2 ladder matches Fig 7c (300–883 MHz).
+
+IPC values express microarchitectural efficiency relative to a reference
+in-order core and were calibrated so the cross-device QoE spread of Fig 2
+reproduces (Intex ≈ 4–5× the Pixel2's PLT, Gionee ≈ 3×).  The SG S6-edge
+big cluster is listed at its thermally sustainable 1800 MHz rather than
+its 2100 MHz burst ceiling — the paper attributes the Pixel2/S6 inversion
+to how the two phones manage their big.LITTLE clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.device.accelerators import (
+    CODEC_HIGH,
+    CODEC_LOW_END,
+    CODEC_MID,
+    AcceleratorSet,
+    DspSpec,
+)
+from repro.device.cpu import ClusterSpec
+from repro.device.energy import PowerSpec
+
+
+def _ladder(min_mhz: int, max_mhz: int, steps: int) -> tuple[int, ...]:
+    """Evenly spaced DVFS ladder with ``steps`` operating points."""
+    if steps < 2:
+        raise ValueError("a ladder needs at least two steps")
+    pitch = (max_mhz - min_mhz) / (steps - 1)
+    return tuple(round(min_mhz + pitch * i) for i in range(steps))
+
+
+#: The twelve Nexus4 operating points on the x-axis of Figs 3a/4a/5a/6.
+NEXUS4_LADDER = (384, 486, 594, 702, 810, 918, 1026, 1134, 1242, 1350, 1458, 1512)
+
+#: Pixel2 ladder; the first five steps are the x-axis of Fig 7c.
+PIXEL2_BIG_LADDER = (
+    300, 441, 595, 748, 883, 1056, 1209, 1363, 1516, 1670,
+    1824, 1977, 2130, 2284, 2457,
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one phone (a Table 1 row plus model constants)."""
+
+    name: str
+    soc: str
+    clusters: Sequence[ClusterSpec]
+    memory_gb: float
+    os_version: str
+    gpu: str
+    release: str
+    cost_usd: int
+    accelerators: AcceleratorSet = field(default_factory=AcceleratorSet)
+    power: PowerSpec = field(default_factory=PowerSpec)
+    #: Vertical display resolution the device is served video at (YouTube
+    #: serves device-specific formats; it does not stream FullHD to an Intex).
+    display_height: int = 1080
+
+    @property
+    def n_cores(self) -> int:
+        return sum(cluster.n_cores for cluster in self.clusters)
+
+    @property
+    def max_clock_mhz(self) -> int:
+        return max(cluster.max_mhz for cluster in self.clusters)
+
+    @property
+    def min_clock_mhz(self) -> int:
+        return min(cluster.min_mhz for cluster in self.clusters)
+
+    @property
+    def best_rate_hz(self) -> float:
+        """Peak single-core instruction rate (Hz × IPC)."""
+        return max(c.max_mhz * 1e6 * c.ipc for c in self.clusters)
+
+
+INTEX_AMAZE = DeviceSpec(
+    name="Intex Amaze+",
+    soc="Spreadtrum SC9832A",
+    clusters=(ClusterSpec("a7", 4, _ladder(300, 1300, 8), ipc=0.58),),
+    memory_gb=1.0,
+    os_version="6.0",
+    gpu="Mali-400",
+    release="Jan 2017",
+    cost_usd=60,
+    accelerators=AcceleratorSet(codec=CODEC_LOW_END),
+    power=PowerSpec(switching_nf=0.45, static_w=0.030),
+    display_height=720,
+)
+
+GIONEE_F103 = DeviceSpec(
+    name="Gionee F103",
+    soc="MediaTek MT6735",
+    clusters=(ClusterSpec("a53", 4, _ladder(300, 1300, 8), ipc=0.95),),
+    memory_gb=2.0,
+    os_version="5.0",
+    gpu="Mali-T720",
+    release="Oct 2015",
+    cost_usd=150,
+    accelerators=AcceleratorSet(codec=CODEC_LOW_END),
+    power=PowerSpec(switching_nf=0.50, static_w=0.030),
+    display_height=720,
+)
+
+NEXUS4 = DeviceSpec(
+    name="Google Nexus4",
+    soc="Snapdragon S4 Pro",
+    clusters=(ClusterSpec("krait", 4, NEXUS4_LADDER, ipc=1.40),),
+    memory_gb=2.0,
+    os_version="5.1.1",
+    gpu="Adreno 320",
+    release="Nov 2012",
+    cost_usd=200,
+    accelerators=AcceleratorSet(codec=CODEC_MID, dsp=DspSpec("hexagon-qdsp6v4", 500.0)),
+    power=PowerSpec(switching_nf=1.00, static_w=0.040),
+    display_height=768,
+)
+
+GALAXY_S2_TAB = DeviceSpec(
+    name="SG S2-Tab",
+    soc="Exynos 5433",
+    clusters=(
+        ClusterSpec("a53", 4, _ladder(400, 1300, 8), ipc=1.05),
+        ClusterSpec("a57", 4, _ladder(400, 1300, 8), ipc=1.75),
+    ),
+    memory_gb=3.0,
+    os_version="5.0.2",
+    gpu="Mali-T760",
+    release="Sep 2015",
+    cost_usd=450,
+    accelerators=AcceleratorSet(codec=CODEC_MID),
+    power=PowerSpec(switching_nf=1.10, static_w=0.045),
+    display_height=1080,
+)
+
+PIXEL_C_TAB = DeviceSpec(
+    name="Google Pixel C",
+    soc="Tegra X1",
+    clusters=(ClusterSpec("a57", 4, _ladder(204, 1912, 10), ipc=1.75),),
+    memory_gb=3.0,
+    os_version="8.0.0",
+    gpu="Maxwell",
+    release="Dec 2015",
+    cost_usd=600,
+    accelerators=AcceleratorSet(codec=CODEC_HIGH),
+    power=PowerSpec(switching_nf=1.30, static_w=0.050),
+    display_height=1080,
+)
+
+PIXEL2 = DeviceSpec(
+    name="Google Pixel2",
+    soc="Snapdragon 835",
+    clusters=(
+        ClusterSpec("kryo-silver", 4, _ladder(300, 1900, 10), ipc=1.55),
+        ClusterSpec("kryo-gold", 4, PIXEL2_BIG_LADDER, ipc=2.20),
+    ),
+    memory_gb=4.0,
+    os_version="8.0.0",
+    gpu="Adreno 540",
+    release="Oct 2017",
+    cost_usd=700,
+    accelerators=AcceleratorSet(codec=CODEC_HIGH, dsp=DspSpec("hexagon-682", 787.0)),
+    # 10 nm Kryo 280: low switched capacitance; calibrated so sustained JS
+    # execution at the ondemand operating point draws ~1.1 W (Fig 7b).
+    power=PowerSpec(switching_nf=0.36, static_w=0.040),
+    display_height=1080,
+)
+
+GALAXY_S6_EDGE = DeviceSpec(
+    name="SG S6-edge",
+    soc="Exynos 7420",
+    clusters=(
+        ClusterSpec("a53", 4, _ladder(400, 1500, 8), ipc=1.05),
+        # Burst ceiling is 2100 MHz, but the phone's cluster management
+        # throttles sustained interactive work to ~1800 MHz — this is the
+        # big.LITTLE policy difference the paper calls out vs the Pixel2.
+        ClusterSpec("a57", 4, _ladder(400, 1800, 8), ipc=1.75),
+    ),
+    memory_gb=3.0,
+    os_version="6.0.1",
+    gpu="Mali-T760",
+    release="Apr 2015",
+    cost_usd=880,
+    accelerators=AcceleratorSet(codec=CODEC_HIGH),
+    power=PowerSpec(switching_nf=1.15, static_w=0.045),
+    display_height=1440,
+)
+
+#: Table 1 rows in the order of Fig 2's x-axis.
+TABLE1_DEVICES = (
+    INTEX_AMAZE,
+    GIONEE_F103,
+    NEXUS4,
+    GALAXY_S2_TAB,
+    PIXEL_C_TAB,
+    GALAXY_S6_EDGE,
+    PIXEL2,
+)
+
+_BY_NAME = {spec.name: spec for spec in TABLE1_DEVICES}
+
+
+def by_name(name: str) -> DeviceSpec:
+    """Look up a Table 1 device by its display name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+__all__ = [
+    "DeviceSpec",
+    "GALAXY_S2_TAB",
+    "GALAXY_S6_EDGE",
+    "GIONEE_F103",
+    "INTEX_AMAZE",
+    "NEXUS4",
+    "NEXUS4_LADDER",
+    "PIXEL2",
+    "PIXEL2_BIG_LADDER",
+    "PIXEL_C_TAB",
+    "TABLE1_DEVICES",
+    "by_name",
+]

@@ -1,0 +1,29 @@
+"""DSP coprocessor offload (the paper's §4.2 prototype).
+
+Models the Qualcomm Hexagon aDSP path the paper built with the Hexagon
+SDK: JavaScript regex-containing functions are ported to C, loaded on the
+DSP, and invoked over FastRPC.  Three pieces:
+
+* :class:`~repro.dsp.fastrpc.FastRpcChannel` — the CPU↔DSP RPC path
+  (invoke latency, marshalling, DSP serialization) plus DSP busy-time and
+  energy accounting;
+* :class:`~repro.dsp.kernel.DspRegexKernel` — prices a recorded
+  :class:`~repro.jsruntime.model.RegexCall` and a function's generic work
+  on the DSP (scalar VLIW for Pike-VM-shaped work, HVX vector lanes for
+  table-driven DFA scans and vectorizable list operations);
+* :class:`~repro.dsp.executor.DspScriptExecutor` — a drop-in
+  script-executor for the browser engine that sends regex-containing
+  functions to the DSP, exactly the replacement semantics of the paper's
+  ePLT replay.
+"""
+
+from repro.dsp.fastrpc import FastRpcChannel
+from repro.dsp.kernel import DspCostModel, DspRegexKernel
+from repro.dsp.executor import DspScriptExecutor
+
+__all__ = [
+    "DspCostModel",
+    "DspRegexKernel",
+    "DspScriptExecutor",
+    "FastRpcChannel",
+]

@@ -1,0 +1,63 @@
+"""Script executor that offloads regex evaluation to the DSP.
+
+Drop-in replacement for the browser's
+:class:`~repro.web.browser.CpuScriptExecutor`: inside every function that
+contains regular expressions, the regex evaluation runs on the DSP over
+FastRPC (one batched invocation per function, as the paper's C ports do),
+while the function's remaining work stays on the CPU.  The call is
+synchronous — the main thread blocks in FastRPC — matching the paper's
+ePLT replay, where each offloaded function's execution time is *replaced*
+by its measured DSP runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsp.fastrpc import FastRpcChannel
+from repro.dsp.kernel import DspRegexKernel
+from repro.jsruntime import CpuCostModel, Script
+from repro.web.browser import BrowserEngine, CpuScriptExecutor
+
+
+class DspScriptExecutor(CpuScriptExecutor):
+    """Executes regex-containing functions on the DSP coprocessor."""
+
+    def __init__(
+        self,
+        channel: FastRpcChannel,
+        kernel: Optional[DspRegexKernel] = None,
+        js_cost: Optional[CpuCostModel] = None,
+    ):
+        super().__init__(js_cost)
+        self.channel = channel
+        self.kernel = kernel or DspRegexKernel()
+
+    def execute(self, browser: BrowserEngine, script: Script):
+        """Process: run ``script``, offloading eligible functions."""
+        env = browser.env
+        cost = browser.cost
+        yield from browser.device.run(
+            script.compile_ops, cost.script_stall(script.compile_ops)
+        )
+        for function in script.functions:
+            if function.has_regex:
+                started = env.now
+                # Generic work stays on the CPU ...
+                yield from browser.device.run(
+                    function.generic_ops,
+                    cost.script_stall(function.generic_ops),
+                )
+                # ... the regex evaluation crosses to the DSP in one batch.
+                yield from self.channel.invoke(
+                    self.kernel.payload_bytes(function),
+                    self.kernel.regex_cycles(function),
+                )
+                browser.result.script_regex_fn_time += env.now - started
+                browser.result.regex_fn_intervals.append((started, env.now))
+            else:
+                ops = self.js_cost.function_ops(function)
+                yield from browser.device.run(ops, cost.script_stall(ops))
+
+
+__all__ = ["DspScriptExecutor"]

@@ -1,0 +1,36 @@
+"""JavaScript workload model.
+
+The paper drills into Chrome's scripting time and finds that on
+script-heavy pages a significant share is regular-expression evaluation
+(URL matching, list filtering).  This package models scripts at the
+granularity that analysis needs:
+
+* a :class:`~repro.jsruntime.model.Script` is a list of
+  :class:`~repro.jsruntime.model.JsFunction`\\ s;
+* each function carries *generic* interpreter work (reference ops) plus
+  :class:`~repro.jsruntime.model.RegexCall`\\ s whose costs come from
+  genuinely executing the pattern on the subject through
+  :mod:`repro.regexlib` (see :class:`~repro.jsruntime.profile.RegexProfiler`);
+* :class:`~repro.jsruntime.model.CpuCostModel` converts engine operations
+  into reference CPU ops (interpreter loops are far more expensive per
+  engine op than a warm DFA scan).
+
+The DSP offload study re-prices the same recorded calls with the DSP cost
+model — no re-execution, identical workload.
+"""
+
+from repro.jsruntime.model import (
+    CpuCostModel,
+    JsFunction,
+    RegexCall,
+    Script,
+)
+from repro.jsruntime.profile import RegexProfiler
+
+__all__ = [
+    "CpuCostModel",
+    "JsFunction",
+    "RegexCall",
+    "RegexProfiler",
+    "Script",
+]

@@ -1,0 +1,79 @@
+"""Regex call profiling: measure real engine work for (pattern, subject).
+
+The page generator attaches thousands of regex calls to scripts; executing
+each one through the engine at generation time would be wasteful because
+the same (pattern, subject) pairs recur constantly (the same URL filter
+over the same kind of list).  :class:`RegexProfiler` runs each distinct
+pair exactly once — through the Pike VM *and*, when supported, the lazy
+DFA — and memoizes the measured operation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.jsruntime.model import RegexCall
+from repro.regexlib import Regex
+from repro.regexlib.pikevm import Counter
+from repro.regexlib import pikevm
+
+
+class RegexProfiler:
+    """Executes and memoizes regex calls, producing :class:`RegexCall`\\ s."""
+
+    def __init__(self) -> None:
+        self._regexes: dict[str, Regex] = {}
+        self._measured: dict[tuple[str, str, str], tuple[int, Optional[int]]] = {}
+
+    def _regex(self, pattern: str) -> Regex:
+        regex = self._regexes.get(pattern)
+        if regex is None:
+            regex = Regex(pattern)
+            self._regexes[pattern] = regex
+        return regex
+
+    def _measure(self, pattern: str, subject: str, mode: str) -> tuple[int, Optional[int]]:
+        key = (pattern, subject, mode)
+        cached = self._measured.get(key)
+        if cached is not None:
+            return cached
+        regex = self._regex(pattern)
+        # Pike VM cost (captures / spans / findall all run here).
+        counter = Counter()
+        if mode == "findall":
+            pos = 0
+            while pos <= len(subject):
+                slots = pikevm.run(regex.program, subject, start=pos, counter=counter)
+                if slots is None:
+                    break
+                start, end = slots[0], slots[1]
+                pos = end + 1 if end == start else end
+        else:
+            pikevm.run(regex.program, subject, counter=counter)
+        pike_ops = counter.ops
+        # DFA cost, when this call shape can use it.
+        dfa_ops: Optional[int] = None
+        dfa = regex.dfa()
+        if dfa is not None and mode == "test":
+            dfa_counter = Counter()
+            dfa.matches(subject, dfa_counter)
+            dfa_ops = dfa_counter.ops
+        result = (pike_ops, dfa_ops)
+        self._measured[key] = result
+        return result
+
+    def profile(self, pattern: str, subject: str, mode: str = "test",
+                repeats: int = 1) -> RegexCall:
+        """Measure one call and return its recorded descriptor."""
+        pike_ops, dfa_ops = self._measure(pattern, subject, mode)
+        return RegexCall(
+            pattern=pattern,
+            subject_chars=len(subject),
+            mode=mode,
+            pike_ops=pike_ops,
+            dfa_ops=dfa_ops,
+            repeats=repeats,
+        )
+
+
+__all__ = ["RegexProfiler"]

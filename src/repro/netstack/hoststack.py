@@ -1,0 +1,102 @@
+"""Host-side packet processing, charged to the device CPU.
+
+The paper's §4.1 finding: kernel packet processing is computationally
+expensive enough on phones that TCP throughput is CPU-bound at low clocks
+(48 → 32 Mbps over the Nexus4 ladder).  We charge a fixed instruction cost
+per received/sent packet — covering IRQ handling, the SDIO/WiFi driver,
+skb management, checksums, TCP/IP, and the copy to userspace — executed on
+a single serialized "softirq" context, as NAPI processes one device's RX
+queue on one CPU.
+
+Calibration: 190 k reference ops/packet makes a Nexus4 (IPC 1.4) saturate
+at ≈2 760 packets/s ≈ 32 Mbps at 384 MHz while staying link-limited
+(≥48 Mbps of CPU headroom) above ≈600 MHz — Fig 6's shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device import Device
+from repro.sim import Environment, Resource
+
+#: TCP maximum segment size (payload bytes per packet).
+MSS = 1448
+
+
+@dataclass(frozen=True)
+class PacketCostModel:
+    """Instruction cost of moving one packet through the kernel stack.
+
+    TLS adds userspace crypto: a per-connection handshake cost and a
+    per-byte record decrypt/encrypt cost on top of kernel processing.
+    """
+
+    rx_ops_per_pkt: float = 190_000.0
+    tx_ops_per_pkt: float = 150_000.0
+    tls_handshake_ops: float = 45e6
+    tls_ops_per_byte: float = 22.0
+
+    def rx_ops(self, nbytes: float, tls: bool = False) -> float:
+        """Reference ops to receive ``nbytes`` of TCP payload."""
+        ops = math.ceil(max(nbytes, 1) / MSS) * self.rx_ops_per_pkt
+        if tls:
+            ops += nbytes * self.tls_ops_per_byte
+        return ops
+
+    def tx_ops(self, nbytes: float, tls: bool = False) -> float:
+        """Reference ops to send ``nbytes`` of TCP payload."""
+        ops = math.ceil(max(nbytes, 1) / MSS) * self.tx_ops_per_pkt
+        if tls:
+            ops += nbytes * self.tls_ops_per_byte
+        return ops
+
+
+class HostStack:
+    """The phone's kernel network stack bound to its CPU.
+
+    ``process_rx``/``process_tx`` are simulation processes that execute the
+    per-packet instruction cost on the device CPU.  A single softirq lock
+    serializes stack work across connections (one NAPI poller), which is
+    what makes packet processing compete with — at most — one core's worth
+    of application work.
+    """
+
+    def __init__(self, env: Environment, device: Device,
+                 cost: PacketCostModel = PacketCostModel()):
+        self.env = env
+        self.device = device
+        self.cost = cost
+        self._softirq = Resource(env, capacity=1)
+        self._rx_bytes = 0.0
+        self._tx_bytes = 0.0
+
+    @property
+    def rx_bytes(self) -> float:
+        return self._rx_bytes
+
+    @property
+    def tx_bytes(self) -> float:
+        return self._tx_bytes
+
+    def process_rx(self, nbytes: float, tls: bool = False):
+        """Process: charge the CPU for receiving ``nbytes`` of payload."""
+        with self._softirq.request() as grant:
+            yield grant
+            yield from self.device.run(self.cost.rx_ops(nbytes, tls))
+            self._rx_bytes += nbytes
+
+    def process_tx(self, nbytes: float, tls: bool = False):
+        """Process: charge the CPU for sending ``nbytes`` of payload."""
+        with self._softirq.request() as grant:
+            yield grant
+            yield from self.device.run(self.cost.tx_ops(nbytes, tls))
+            self._tx_bytes += nbytes
+
+    def tls_handshake(self):
+        """Process: client-side handshake crypto (userspace, any core)."""
+        yield from self.device.run(self.cost.tls_handshake_ops)
+
+
+__all__ = ["MSS", "HostStack", "PacketCostModel"]

@@ -1,0 +1,74 @@
+"""The access link between the phone and the LAN server.
+
+A single bottleneck link models the Aruba AP of the paper's testbed.  The
+nominal 72 Mbps 802.11n PHY rate yields ≈48 Mbps of TCP goodput once MAC
+framing, ACKs and contention are paid — the ceiling Fig 6 shows at high
+clocks — so :class:`LinkSpec` is expressed directly in achievable goodput.
+
+Transmission is FIFO: a transfer holds the link for its serialization time.
+Because every flow sends in bounded chunks, FIFO interleaving approximates
+the per-flow fair share of a real queue at the timescales we report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Environment, Resource
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Capacity/RTT/loss of the testbed path (defaults: the paper's LAN)."""
+
+    goodput_bps: float = 48.5e6
+    rtt_s: float = 0.010
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.goodput_bps <= 0:
+            raise ValueError("goodput must be positive")
+        if self.rtt_s < 0:
+            raise ValueError("RTT cannot be negative")
+        if not 0 <= self.loss < 1:
+            raise ValueError("loss must lie in [0, 1)")
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.goodput_bps / 8.0
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth–delay product."""
+        return self.bytes_per_s * self.rtt_s
+
+
+class Link:
+    """Shared FIFO bottleneck; ``transmit`` blocks for the serialization time."""
+
+    def __init__(self, env: Environment, spec: LinkSpec = LinkSpec()):
+        self.env = env
+        self.spec = spec
+        self._line = Resource(env, capacity=1)
+        self._bytes_carried = 0.0
+
+    @property
+    def bytes_carried(self) -> float:
+        """Total payload bytes delivered over the link so far."""
+        return self._bytes_carried
+
+    def serialization_time(self, nbytes: float) -> float:
+        """Time the line is held to carry ``nbytes``."""
+        return nbytes / self.spec.bytes_per_s
+
+    def transmit(self, nbytes: float):
+        """Process: occupy the line for ``nbytes`` of payload."""
+        if nbytes < 0:
+            raise ValueError("cannot transmit negative bytes")
+        with self._line.request() as grant:
+            yield grant
+            yield self.env.timeout(self.serialization_time(nbytes))
+            self._bytes_carried += nbytes
+
+
+__all__ = ["Link", "LinkSpec"]

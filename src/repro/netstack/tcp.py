@@ -1,0 +1,123 @@
+"""Reno-style TCP connection over the shared link.
+
+The model captures the three timing components that matter at LAN/QoE
+scale:
+
+* **handshake** — one RTT plus the kernel cost of the control packets;
+* **slow start** — IW10, congestion window doubling per ACK-clocked round
+  until the window covers the pipe (no loss on the testbed LAN);
+* **steady streaming** — back-to-back bursts whose completion is gated by
+  *both* link serialization and receiver packet processing, so goodput is
+  ``min(link, cpu)`` and contends with application compute.
+
+Bursts are capped at 64 KiB so event granularity stays fine enough for
+fair interleaving between concurrent connections.
+"""
+
+from __future__ import annotations
+
+from repro.netstack.hoststack import MSS, HostStack
+from repro.netstack.link import Link
+from repro.sim import Environment
+
+#: Initial congestion window (RFC 6928).
+INITIAL_WINDOW_BYTES = 10 * MSS
+#: Burst granularity for steady-state streaming.
+BURST_CAP_BYTES = 64 * 1024
+#: Receive-window ceiling on the congestion window.
+MAX_WINDOW_BYTES = 256 * 1024
+
+
+class TcpConnection:
+    """One TCP connection between the phone and the LAN server."""
+
+    def __init__(self, env: Environment, link: Link, stack: HostStack,
+                 tls: bool = False):
+        self.env = env
+        self.link = link
+        self.stack = stack
+        self.tls = tls
+        self.cwnd = float(INITIAL_WINDOW_BYTES)
+        self.connected = False
+        self.bytes_downloaded = 0.0
+        self.bytes_uploaded = 0.0
+
+    # -- connection management ------------------------------------------
+
+    def connect(self):
+        """Process: three-way handshake (one RTT + control-packet CPU),
+        plus a TLS 1.2 handshake (two more RTTs + crypto) when enabled."""
+        if self.connected:
+            return
+        yield self.env.timeout(self.link.spec.rtt_s)
+        # SYN out, SYN/ACK in, ACK out.
+        yield self.env.process(self.stack.process_tx(1))
+        yield self.env.process(self.stack.process_rx(1))
+        yield self.env.process(self.stack.process_tx(1))
+        if self.tls:
+            # ClientHello → ServerHello/cert → key exchange → Finished.
+            yield self.env.timeout(2 * self.link.spec.rtt_s)
+            yield self.env.process(self.stack.process_rx(4 * 1448))  # cert chain
+            yield self.env.process(self.stack.tls_handshake())
+        self.connected = True
+
+    # -- transfers --------------------------------------------------------
+
+    def send(self, nbytes: float):
+        """Process: upload ``nbytes`` (request bodies, outgoing media)."""
+        if not self.connected:
+            yield from self.connect()
+        cpu_done = self.env.process(self.stack.process_tx(nbytes, self.tls))
+        link_done = self.env.process(self.link.transmit(nbytes))
+        yield self.env.all_of([cpu_done, link_done])
+        yield self.env.timeout(self.link.spec.rtt_s / 2)
+        self.bytes_uploaded += nbytes
+
+    def receive(self, nbytes: float, first_byte_latency: bool = True):
+        """Process: download ``nbytes`` of response payload.
+
+        The caller is resumed when the last byte has been processed by the
+        kernel stack (i.e. is available to the application).  Continuous
+        consumers (iperf, media streams) that call ``receive`` repeatedly
+        on a hot connection pass ``first_byte_latency=False`` after the
+        first call so the server→client propagation delay is paid once,
+        not per burst.
+        """
+        if not self.connected:
+            yield from self.connect()
+        if nbytes <= 0:
+            return
+        pipe = max(self.link.spec.bdp_bytes, float(INITIAL_WINDOW_BYTES))
+        remaining = float(nbytes)
+        first_burst = first_byte_latency
+        while remaining > 0:
+            burst = min(remaining, self.cwnd, float(BURST_CAP_BYTES))
+            if first_burst:
+                # Server→client propagation of the first data segment.
+                yield self.env.timeout(self.link.spec.rtt_s / 2)
+                first_burst = False
+            elif self.cwnd < pipe:
+                # Ack-clocked stall: the next round waits a full RTT.
+                yield self.env.timeout(self.link.spec.rtt_s)
+            link_done = self.env.process(self.link.transmit(burst))
+            cpu_done = self.env.process(self.stack.process_rx(burst, self.tls))
+            yield self.env.all_of([link_done, cpu_done])
+            remaining -= burst
+            self.cwnd = min(self.cwnd * 2.0, float(MAX_WINDOW_BYTES))
+        self.bytes_downloaded += nbytes
+
+    def request(self, upload_bytes: float, download_bytes: float,
+                server_think_s: float = 0.0):
+        """Process: a request/response exchange (e.g. one HTTP GET)."""
+        yield from self.send(upload_bytes)
+        if server_think_s > 0:
+            yield self.env.timeout(server_think_s)
+        yield from self.receive(download_bytes)
+
+
+__all__ = [
+    "BURST_CAP_BYTES",
+    "INITIAL_WINDOW_BYTES",
+    "MAX_WINDOW_BYTES",
+    "TcpConnection",
+]

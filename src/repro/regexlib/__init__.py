@@ -1,0 +1,37 @@
+"""A regular-expression engine built from scratch.
+
+The paper offloads JavaScript regular-expression evaluation to a DSP; to
+study that faithfully we need an engine whose work is *observable* — every
+VM step and DFA transition is counted, so the same pattern/subject pair can
+be costed on the CPU model and on the DSP model.
+
+Pipeline: pattern string → :mod:`parse` (AST) → :mod:`program` (Thompson
+NFA bytecode) → execution by either
+
+* the **Pike VM** (:mod:`pikevm`) — full semantics including capture
+  groups, leftmost-greedy priority, word boundaries; or
+* the **lazy DFA** (:mod:`dfa`) — capture-free subset construction built
+  on demand, ~1 operation per input character once warm.  This is the
+  loop shape that vectorizes on a Hexagon-class DSP.
+
+Public entry point: :class:`Regex` (see :mod:`engine`), with an interface
+close to :mod:`re`: ``search``, ``match``, ``fullmatch``, ``findall``,
+``finditer``, plus a cost ledger.
+
+Supported syntax: literals, ``.``, escapes (``\\d \\D \\w \\W \\s \\S
+\\n \\t \\r \\f \\v \\xHH \\uHHHH``), character classes with ranges and
+negation, alternation, capturing and ``(?:...)`` groups, quantifiers
+``* + ? {m} {m,} {m,n}`` with lazy variants, anchors ``^ $ \\b \\B``.
+"""
+
+from repro.regexlib.engine import CostLedger, Match, Regex, compile
+from repro.regexlib.errors import RegexError, RegexSyntaxError
+
+__all__ = [
+    "CostLedger",
+    "Match",
+    "Regex",
+    "RegexError",
+    "RegexSyntaxError",
+    "compile",
+]

@@ -1,0 +1,179 @@
+"""Lazy DFA execution for capture-free matching.
+
+Subset construction performed on demand: DFA states are frozensets of NFA
+program counters ("kernels" — the char-consuming instructions reachable
+after closure), and transitions are built the first time a (state, char)
+pair is seen, then served from cache at ~1 operation per character.
+
+This is the execution mode the DSP model vectorizes (a table-driven scan
+loop with no data-dependent branching), and also the engine's fast path
+for boolean ``test``/``count`` queries.
+
+Limitations (callers fall back to the Pike VM):
+
+* no capture groups (SAVE instructions are skipped),
+* no word-boundary assertions (``\\b``/``\\B``) — their closure would need
+  per-character context in the state key,
+* reports only whether/where a match *ends* (boolean semantics), not the
+  full leftmost-greedy span.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.regexlib.pikevm import Counter, _in_intervals
+from repro.regexlib.program import (
+    ANY,
+    ASSERT,
+    CHAR,
+    JMP,
+    MATCH,
+    RANGE,
+    SAVE,
+    SPLIT,
+    Program,
+)
+
+
+class DfaUnsupported(Exception):
+    """The program cannot run on the DFA (see module docstring)."""
+
+
+class LazyDfa:
+    """Lazily built DFA over a compiled program.
+
+    One instance caches states/transitions across many subjects, mirroring
+    how a JS engine caches compiled regexes across calls.
+    """
+
+    def __init__(self, program: Program):
+        if program.has_word_boundary:
+            raise DfaUnsupported("word boundaries need positional context")
+        self.program = program
+        # state id -> kernel (frozenset of pcs); 0 is reserved for the dead state
+        self._kernels: list[frozenset[int]] = [frozenset()]
+        self._ids: dict[frozenset[int], int] = {frozenset(): 0}
+        # (state id, char, sticky_start) -> state id
+        self._transitions: dict[tuple[int, str, bool], int] = {}
+        # closure cache: (kernel id, at_start, at_end) -> (consumers, matched)
+        self._closures: dict[tuple[int, bool, bool], tuple[tuple[int, ...], bool]] = {}
+
+    def _intern(self, kernel: frozenset[int]) -> int:
+        state_id = self._ids.get(kernel)
+        if state_id is None:
+            state_id = len(self._kernels)
+            self._ids[kernel] = state_id
+            self._kernels.append(kernel)
+        return state_id
+
+    def _closure(
+        self, state_id: int, at_start: bool, at_end: bool, counter: Counter
+    ) -> tuple[tuple[int, ...], bool]:
+        """Consuming pcs reachable from the kernel, and whether MATCH is."""
+        key = (state_id, at_start, at_end)
+        cached = self._closures.get(key)
+        if cached is not None:
+            return cached
+        insts = self.program.insts
+        seen: set[int] = set()
+        consumers: list[int] = []
+        matched = False
+        stack = sorted(self._kernels[state_id], reverse=True)
+        while stack:
+            pc = stack.pop()
+            if pc in seen:
+                continue
+            seen.add(pc)
+            counter.ops += 1
+            inst = insts[pc]
+            op = inst.op
+            if op == JMP:
+                stack.append(inst.x)
+            elif op == SPLIT:
+                stack.append(inst.x)
+                stack.append(inst.y)
+            elif op == SAVE:
+                stack.append(pc + 1)
+            elif op == ASSERT:
+                if inst.x == "bol" and at_start:
+                    stack.append(pc + 1)
+                elif inst.x == "eol" and at_end:
+                    stack.append(pc + 1)
+            elif op == MATCH:
+                matched = True
+            else:
+                consumers.append(pc)
+        result = (tuple(sorted(consumers)), matched)
+        self._closures[key] = result
+        return result
+
+    def _step(
+        self,
+        state_id: int,
+        char: str,
+        at_start: bool,
+        sticky_start: bool,
+        counter: Counter,
+    ) -> int:
+        """Next state after consuming ``char``."""
+        # at_start only ever applies at position 0, where the transition
+        # cache is cold anyway; fold it into a throwaway computation.
+        if not at_start:
+            key = (state_id, char, sticky_start)
+            nxt = self._transitions.get(key)
+            if nxt is not None:
+                counter.ops += 1  # warm table lookup
+                return nxt
+        consumers, _ = self._closure(state_id, at_start, False, counter)
+        code = ord(char)
+        kernel: set[int] = set()
+        insts = self.program.insts
+        for pc in consumers:
+            counter.ops += 1
+            inst = insts[pc]
+            op = inst.op
+            if op == CHAR:
+                if char == inst.x:
+                    kernel.add(pc + 1)
+            elif op == RANGE:
+                if _in_intervals(inst.x, code):
+                    kernel.add(pc + 1)
+            elif op == ANY:
+                if char != "\n":
+                    kernel.add(pc + 1)
+        if sticky_start:
+            kernel.add(0)
+        nxt = self._intern(frozenset(kernel))
+        if not at_start:
+            self._transitions[(state_id, char, sticky_start)] = nxt
+        return nxt
+
+    def search_end(
+        self, text: str, counter: Optional[Counter] = None
+    ) -> Optional[int]:
+        """Position right after the earliest match end, or ``None``.
+
+        Unanchored: an implicit start thread is injected at every position
+        (the "sticky start" bit folded into each state).
+        """
+        if counter is None:
+            counter = Counter()
+        state = self._intern(frozenset([0]))
+        for pos, char in enumerate(text):
+            at_start = pos == 0
+            _, matched = self._closure(state, at_start, False, counter)
+            if matched:
+                return pos
+            state = self._step(state, char, at_start, True, counter)
+        _, matched = self._closure(state, len(text) == 0, True, counter)
+        if matched:
+            return len(text)
+        return None
+
+    def matches(self, text: str, counter: Optional[Counter] = None) -> bool:
+        """Boolean unanchored search (the JS ``RegExp.test`` fast path)."""
+        return self.search_end(text, counter) is not None
+
+
+__all__ = ["DfaUnsupported", "LazyDfa"]

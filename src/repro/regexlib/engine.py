@@ -1,0 +1,232 @@
+"""Public regex API: :class:`Regex`, :class:`Match`, and cost accounting.
+
+The interface follows :mod:`re` closely (``search``/``match``/``fullmatch``/
+``findall``/``finditer``), with one addition central to this project: every
+call's work is metered.  ``Regex.ledger`` accumulates Pike-VM operations and
+DFA operations separately, because the two loop shapes cost differently on
+the CPU and DSP models (:mod:`repro.dsp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.regexlib import parse as ast
+from repro.regexlib import pikevm
+from repro.regexlib.dfa import DfaUnsupported, LazyDfa
+from repro.regexlib.program import Program, compile_ast
+
+
+@dataclass
+class CostLedger:
+    """Cumulative work performed by an engine instance."""
+
+    pike_ops: int = 0
+    dfa_ops: int = 0
+    calls: int = 0
+    chars: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.pike_ops + self.dfa_ops
+
+    def merge(self, other: "CostLedger") -> None:
+        self.pike_ops += other.pike_ops
+        self.dfa_ops += other.dfa_ops
+        self.calls += other.calls
+        self.chars += other.chars
+
+
+class Match:
+    """Result of a successful match; spans follow :mod:`re` conventions."""
+
+    def __init__(self, text: str, slots: tuple, n_groups: int,
+                 group_names: Optional[dict[str, int]] = None):
+        self._text = text
+        self._slots = slots
+        self._n_groups = n_groups
+        self._group_names = group_names or {}
+
+    def _resolve(self, group: int | str) -> int:
+        if isinstance(group, str):
+            try:
+                return self._group_names[group]
+            except KeyError:
+                raise IndexError(f"no such group {group!r}") from None
+        return group
+
+    def span(self, group: int | str = 0) -> tuple[int, int]:
+        index = self._resolve(group)
+        start = self._slots[2 * index]
+        end = self._slots[2 * index + 1]
+        if start is None or end is None:
+            return (-1, -1)
+        return (start, end)
+
+    def start(self, group: int | str = 0) -> int:
+        return self.span(group)[0]
+
+    def end(self, group: int | str = 0) -> int:
+        return self.span(group)[1]
+
+    def group(self, group: int | str = 0) -> Optional[str]:
+        index = self._resolve(group)
+        if not 0 <= index <= self._n_groups:
+            raise IndexError(f"no such group {group}")
+        start, end = self.span(index)
+        if start < 0:
+            return None
+        return self._text[start:end]
+
+    def groups(self) -> tuple[Optional[str], ...]:
+        return tuple(self.group(i) for i in range(1, self._n_groups + 1))
+
+    def groupdict(self) -> dict[str, Optional[str]]:
+        """Named groups and their matched text (None if unmatched)."""
+        return {name: self.group(index)
+                for name, index in self._group_names.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Match span={self.span()} text={self.group()!r}>"
+
+
+class Regex:
+    """A compiled pattern with metered execution."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        node, n_groups, group_names = ast.parse_with_names(pattern)
+        self._node = node
+        self.program: Program = compile_ast(node, n_groups, pattern)
+        self.n_groups = n_groups
+        self.group_names = group_names
+        self.ledger = CostLedger()
+        self._dfa: Optional[LazyDfa] = None
+        self._dfa_failed = False
+        self._full_program: Optional[Program] = None
+
+    # -- internals -------------------------------------------------------
+
+    def _run(self, text: str, start: int, anchored: bool,
+             program: Optional[Program] = None) -> Optional[Match]:
+        counter = pikevm.Counter()
+        slots = pikevm.run(program or self.program, text, start=start,
+                           anchored=anchored, counter=counter)
+        self.ledger.pike_ops += counter.ops
+        self.ledger.calls += 1
+        self.ledger.chars += len(text) - start
+        if slots is None:
+            return None
+        return Match(text, slots, self.n_groups, self.group_names)
+
+    def dfa(self) -> Optional[LazyDfa]:
+        """The lazy DFA, or ``None`` when the pattern needs the Pike VM."""
+        if self._dfa is None and not self._dfa_failed:
+            try:
+                self._dfa = LazyDfa(self.program)
+            except DfaUnsupported:
+                self._dfa_failed = True
+        return self._dfa
+
+    # -- re-like API ------------------------------------------------------
+
+    def search(self, text: str, start: int = 0) -> Optional[Match]:
+        """Leftmost match anywhere at or after ``start``."""
+        return self._run(text, start, anchored=False)
+
+    def match(self, text: str, start: int = 0) -> Optional[Match]:
+        """Match anchored at ``start``."""
+        return self._run(text, start, anchored=True)
+
+    def fullmatch(self, text: str) -> Optional[Match]:
+        """Match that must span the entire subject."""
+        if self._full_program is None:
+            wrapped = ast.Concat(
+                (ast.Group(self._node, None), ast.Anchor("eol"))
+            )
+            self._full_program = compile_ast(wrapped, self.n_groups, self.pattern)
+        return self._run(text, 0, anchored=True, program=self._full_program)
+
+    def test(self, text: str) -> bool:
+        """Boolean unanchored search — the DFA fast path when possible."""
+        dfa = self.dfa()
+        if dfa is None:
+            return self.search(text) is not None
+        counter = pikevm.Counter()
+        found = dfa.matches(text, counter)
+        self.ledger.dfa_ops += counter.ops
+        self.ledger.calls += 1
+        self.ledger.chars += len(text)
+        return found
+
+    def finditer(self, text: str) -> Iterator[Match]:
+        """Non-overlapping matches left to right."""
+        pos = 0
+        while pos <= len(text):
+            found = self.search(text, pos)
+            if found is None:
+                return
+            yield found
+            start, end = found.span()
+            pos = end + 1 if end == start else end
+
+    def findall(self, text: str) -> list[str]:
+        """All non-overlapping match texts (group 0)."""
+        return [m.group() or "" for m in self.finditer(text)]
+
+    def sub(self, replacement: str, text: str,
+            count: int = 0) -> tuple[str, int]:
+        """Replace non-overlapping matches; returns (new text, n_subs).
+
+        ``replacement`` is literal (no backreference expansion); ``count``
+        of 0 replaces every occurrence.
+        """
+        pieces: list[str] = []
+        cursor = 0
+        n_subs = 0
+        for found in self.finditer(text):
+            if count and n_subs >= count:
+                break
+            start, end = found.span()
+            pieces.append(text[cursor:start])
+            pieces.append(replacement)
+            cursor = end
+            n_subs += 1
+        pieces.append(text[cursor:])
+        return "".join(pieces), n_subs
+
+    def split(self, text: str, maxsplit: int = 0) -> list[str]:
+        """Split ``text`` on matches (empty matches never split)."""
+        parts: list[str] = []
+        cursor = 0
+        n_splits = 0
+        for found in self.finditer(text):
+            if maxsplit and n_splits >= maxsplit:
+                break
+            start, end = found.span()
+            if start == end:
+                continue
+            parts.append(text[cursor:start])
+            cursor = end
+            n_splits += 1
+        parts.append(text[cursor:])
+        return parts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Regex({self.pattern!r})"
+
+
+_cache: dict[str, Regex] = {}
+
+
+def compile(pattern: str) -> Regex:  # noqa: A001 - mirrors re.compile
+    """Compile ``pattern``, memoized like :func:`re.compile`."""
+    regex = _cache.get(pattern)
+    if regex is None:
+        regex = Regex(pattern)
+        _cache[pattern] = regex
+    return regex
+
+
+__all__ = ["CostLedger", "Match", "Regex", "compile"]

@@ -1,0 +1,23 @@
+"""Exception types for the regex engine."""
+
+from __future__ import annotations
+
+
+class RegexError(Exception):
+    """Base class for regex engine errors."""
+
+
+class RegexSyntaxError(RegexError):
+    """The pattern could not be parsed.
+
+    Carries the pattern and the offset at which parsing failed so error
+    messages can point at the offending character.
+    """
+
+    def __init__(self, message: str, pattern: str, position: int):
+        super().__init__(f"{message} (pattern {pattern!r}, position {position})")
+        self.pattern = pattern
+        self.position = position
+
+
+__all__ = ["RegexError", "RegexSyntaxError"]

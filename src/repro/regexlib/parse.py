@@ -1,0 +1,462 @@
+"""Pattern parser: regex source → AST.
+
+A hand-written recursive-descent parser for the supported syntax (see the
+package docstring).  The grammar::
+
+    alternation :=  concat ('|' concat)*
+    concat      :=  repeat*
+    repeat      :=  atom quantifier?
+    quantifier  :=  ('*' | '+' | '?' | '{' m (',' n?)? '}') '?'?
+    atom        :=  literal | '.' | escape | class | '(' alternation ')'
+                  | '^' | '$'
+
+Character classes are normalized to sorted, merged, inclusive codepoint
+intervals at parse time, so later stages never re-derive set semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.regexlib.errors import RegexSyntaxError
+
+#: Cap on counted-repeat expansion ({m,n}); larger bounds are rejected to
+#: keep compiled programs small.
+MAX_REPEAT = 256
+
+Intervals = tuple[tuple[int, int], ...]
+
+
+def merge_intervals(pairs: Sequence[tuple[int, int]]) -> Intervals:
+    """Sort and coalesce inclusive codepoint intervals."""
+    ordered = sorted((lo, hi) for lo, hi in pairs if lo <= hi)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in ordered:
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+MAX_CODEPOINT = 0x10FFFF
+
+#: Predefined classes, as inclusive intervals.
+DIGIT: Intervals = ((ord("0"), ord("9")),)
+WORD: Intervals = merge_intervals(
+    [(ord("0"), ord("9")), (ord("A"), ord("Z")), (ord("a"), ord("z")),
+     (ord("_"), ord("_"))]
+)
+SPACE: Intervals = merge_intervals(
+    [(ord(c), ord(c)) for c in " \t\n\r\f\v"]
+)
+
+
+def negate_intervals(intervals: Intervals) -> Intervals:
+    """Complement within [0, MAX_CODEPOINT]."""
+    out: list[tuple[int, int]] = []
+    prev_end = -1
+    for lo, hi in intervals:
+        if lo > prev_end + 1:
+            out.append((prev_end + 1, lo - 1))
+        prev_end = max(prev_end, hi)
+    if prev_end < MAX_CODEPOINT:
+        out.append((prev_end + 1, MAX_CODEPOINT))
+    return tuple(out)
+
+
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node."""
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string."""
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A single literal character."""
+
+    char: str
+
+
+@dataclass(frozen=True)
+class CharClass(Node):
+    """A set of codepoints given as merged inclusive intervals."""
+
+    intervals: Intervals
+
+
+@dataclass(frozen=True)
+class Dot(Node):
+    """``.`` — any character except newline."""
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """Sequence of sub-patterns."""
+
+    parts: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(Node):
+    """Ordered alternation (leftmost branch preferred)."""
+
+    options: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """Quantified sub-pattern: ``child{min, max}``; ``max=None`` = ∞."""
+
+    child: Node
+    min: int
+    max: Optional[int]
+    lazy: bool = False
+
+
+@dataclass(frozen=True)
+class Group(Node):
+    """Capturing group ``index`` (1-based); ``index=None`` = non-capturing."""
+
+    child: Node
+    index: Optional[int]
+
+
+@dataclass(frozen=True)
+class Anchor(Node):
+    """Zero-width assertion: 'bol', 'eol', 'wb', or 'nwb'."""
+
+    kind: str
+
+
+_ESCAPE_CLASSES: dict[str, tuple[Intervals, bool]] = {
+    "d": (DIGIT, False),
+    "D": (DIGIT, True),
+    "w": (WORD, False),
+    "W": (WORD, True),
+    "s": (SPACE, False),
+    "S": (SPACE, True),
+}
+
+_ESCAPE_CHARS = {
+    "n": "\n", "t": "\t", "r": "\r", "f": "\f", "v": "\v", "0": "\0",
+    "a": "\a",
+}
+
+#: Characters that must be escaped to be literals outside classes.
+_METACHARS = set("\\^$.|?*+()[]{}")
+
+
+class _Parser:
+    """Stateful single-pass parser over the pattern string."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+        self.group_count = 0
+        self.group_names: dict[str, int] = {}
+
+    # -- low-level cursor helpers --------------------------------------
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    def _peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _next(self) -> str:
+        char = self._peek()
+        if char is None:
+            raise self._error("unexpected end of pattern")
+        self.pos += 1
+        return char
+
+    def _eat(self, char: str) -> bool:
+        if self._peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error(f"unexpected {self.pattern[self.pos]!r}")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._concat()]
+        while self._eat("|"):
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def _concat(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            char = self._peek()
+            if char is None or char in "|)":
+                break
+            parts.append(self._repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        char = self._peek()
+        if char not in ("*", "+", "?", "{"):
+            return atom
+        if char == "{" and not self._looks_like_counted_repeat():
+            return atom
+        self.pos += 1
+        if char == "*":
+            low, high = 0, None
+        elif char == "+":
+            low, high = 1, None
+        elif char == "?":
+            low, high = 0, 1
+        else:
+            low, high = self._counted_bounds()
+        if isinstance(atom, Anchor):
+            raise self._error("cannot quantify an anchor")
+        lazy = self._eat("?")
+        return Repeat(atom, low, high, lazy=lazy)
+
+    def _looks_like_counted_repeat(self) -> bool:
+        """JS/Python treat a non-numeric '{' as a literal brace."""
+        rest = self.pattern[self.pos + 1:]
+        digits = 0
+        for char in rest:
+            if char.isdigit():
+                digits += 1
+            elif char in ",}" and digits > 0:
+                return True
+            elif char == "," and digits == 0:
+                return False
+            else:
+                return False
+        return False
+
+    def _counted_bounds(self) -> tuple[int, Optional[int]]:
+        low = self._integer()
+        high: Optional[int] = low
+        if self._eat(","):
+            if self._peek() == "}":
+                high = None
+            else:
+                high = self._integer()
+        if not self._eat("}"):
+            raise self._error("expected '}' in counted repeat")
+        if high is not None and high < low:
+            raise self._error("repeat bounds out of order")
+        if low > MAX_REPEAT or (high is not None and high > MAX_REPEAT):
+            raise self._error(f"repeat bound exceeds {MAX_REPEAT}")
+        return low, high
+
+    def _integer(self) -> int:
+        start = self.pos
+        while (char := self._peek()) is not None and char.isdigit():
+            self.pos += 1
+        if self.pos == start:
+            raise self._error("expected a number")
+        return int(self.pattern[start:self.pos])
+
+    def _atom(self) -> Node:
+        char = self._next()
+        if char == "(":
+            return self._group()
+        if char == "[":
+            return self._char_class()
+        if char == ".":
+            return Dot()
+        if char == "^":
+            return Anchor("bol")
+        if char == "$":
+            return Anchor("eol")
+        if char == "\\":
+            return self._escape()
+        if char in "*+?":
+            raise self._error("quantifier with nothing to repeat")
+        return Literal(char)
+
+    def _group(self) -> Node:
+        index: Optional[int]
+        if self._eat("?"):
+            if self._eat(":"):
+                index = None
+            elif self._eat("P"):
+                if not self._eat("<"):
+                    raise self._error("expected '<' after (?P")
+                name = self._group_name()
+                self.group_count += 1
+                index = self.group_count
+                if name in self.group_names:
+                    raise self._error(f"duplicate group name {name!r}")
+                self.group_names[name] = index
+            else:
+                raise self._error("unsupported group extension")
+        else:
+            self.group_count += 1
+            index = self.group_count
+        child = self._alternation()
+        if not self._eat(")"):
+            raise self._error("missing ')'")
+        return Group(child, index)
+
+    def _group_name(self) -> str:
+        start = self.pos
+        while (char := self._peek()) is not None and (
+            char.isalnum() or char == "_"
+        ):
+            self.pos += 1
+        name = self.pattern[start:self.pos]
+        if not name or name[0].isdigit():
+            raise self._error("bad group name")
+        if not self._eat(">"):
+            raise self._error("expected '>' closing group name")
+        return name
+
+    def _escape(self) -> Node:
+        char = self._next()
+        if char in _ESCAPE_CLASSES:
+            intervals, negated = _ESCAPE_CLASSES[char]
+            if negated:
+                intervals = negate_intervals(intervals)
+            return CharClass(intervals)
+        if char == "b":
+            return Anchor("wb")
+        if char == "B":
+            return Anchor("nwb")
+        if char in _ESCAPE_CHARS:
+            return Literal(_ESCAPE_CHARS[char])
+        if char == "x":
+            return Literal(chr(self._hex_value(2)))
+        if char == "u":
+            return Literal(chr(self._hex_value(4)))
+        if char.isalnum():
+            raise self._error(f"unknown escape \\{char}")
+        return Literal(char)
+
+    def _hex_value(self, ndigits: int) -> int:
+        digits = self.pattern[self.pos:self.pos + ndigits]
+        if len(digits) < ndigits:
+            raise self._error("truncated hex escape")
+        try:
+            value = int(digits, 16)
+        except ValueError:
+            raise self._error(f"bad hex escape {digits!r}") from None
+        self.pos += ndigits
+        return value
+
+    # -- character classes ----------------------------------------------
+
+    def _class_member(self) -> tuple[Optional[Intervals], Optional[int]]:
+        """One class member: (class-intervals, None) or (None, codepoint)."""
+        char = self._next()
+        if char != "\\":
+            return None, ord(char)
+        escape = self._next()
+        if escape in _ESCAPE_CLASSES:
+            intervals, negated = _ESCAPE_CLASSES[escape]
+            if negated:
+                intervals = negate_intervals(intervals)
+            return intervals, None
+        if escape in _ESCAPE_CHARS:
+            return None, ord(_ESCAPE_CHARS[escape])
+        if escape == "x":
+            return None, self._hex_value(2)
+        if escape == "u":
+            return None, self._hex_value(4)
+        if escape == "b":
+            return None, 0x08  # backspace inside a class
+        if escape.isalnum():
+            raise self._error(f"unknown escape \\{escape} in class")
+        return None, ord(escape)
+
+    def _char_class(self) -> Node:
+        negated = self._eat("^")
+        pairs: list[tuple[int, int]] = []
+        first = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("missing ']'")
+            if char == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            intervals, codepoint = self._class_member()
+            if intervals is not None:
+                pairs.extend(intervals)
+                continue
+            assert codepoint is not None
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and \
+                    self.pattern[self.pos + 1] != "]":
+                self.pos += 1  # consume '-'
+                hi_intervals, hi = self._class_member()
+                if hi_intervals is not None:
+                    raise self._error("bad character range endpoint")
+                assert hi is not None
+                if hi < codepoint:
+                    raise self._error("reversed character range")
+                pairs.append((codepoint, hi))
+            else:
+                pairs.append((codepoint, codepoint))
+        if not pairs:
+            raise self._error("empty character class")
+        intervals = merge_intervals(pairs)
+        if negated:
+            intervals = negate_intervals(intervals)
+        return CharClass(intervals)
+
+
+def parse(pattern: str) -> tuple[Node, int]:
+    """Parse ``pattern``; returns (AST root, number of capturing groups)."""
+    parser = _Parser(pattern)
+    node = parser.parse()
+    return node, parser.group_count
+
+
+def parse_with_names(pattern: str) -> tuple[Node, int, dict[str, int]]:
+    """Like :func:`parse`, also returning the named-group index map."""
+    parser = _Parser(pattern)
+    node = parser.parse()
+    return node, parser.group_count, dict(parser.group_names)
+
+
+__all__ = [
+    "Alternate",
+    "Anchor",
+    "CharClass",
+    "Concat",
+    "DIGIT",
+    "Dot",
+    "Empty",
+    "Group",
+    "Intervals",
+    "Literal",
+    "MAX_REPEAT",
+    "Node",
+    "Repeat",
+    "SPACE",
+    "WORD",
+    "merge_intervals",
+    "negate_intervals",
+    "parse",
+    "parse_with_names",
+]

@@ -1,0 +1,194 @@
+"""Pike VM: breadth-first NFA simulation with capture groups.
+
+Executes a compiled :class:`~repro.regexlib.program.Program` over a subject
+string in O(len(program) × len(subject)) worst case, no backtracking blowup.
+Thread priority (list order) encodes the leftmost-greedy preferences of a
+backtracking engine, so match results — including capture spans — agree
+with Python's :mod:`re` on the supported syntax subset.
+
+Every instruction execution increments the supplied cost counter; this is
+the "work" the offload study prices on CPU vs DSP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.regexlib.program import (
+    ANY,
+    ASSERT,
+    CHAR,
+    JMP,
+    MATCH,
+    RANGE,
+    SAVE,
+    SPLIT,
+    Program,
+)
+
+
+class Counter:
+    """Mutable operation counter shared across engine components."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops = 0
+
+
+def _is_word(char: Optional[str]) -> bool:
+    return char is not None and (char.isalnum() or char == "_")
+
+
+def _assert_holds(kind: str, text: str, pos: int) -> bool:
+    if kind == "bol":
+        return pos == 0
+    if kind == "eol":
+        return pos == len(text)
+    before = text[pos - 1] if pos > 0 else None
+    after = text[pos] if pos < len(text) else None
+    boundary = _is_word(before) != _is_word(after)
+    if kind == "wb":
+        return boundary
+    if kind == "nwb":
+        return not boundary
+    raise ValueError(f"unknown assertion {kind!r}")
+
+
+def _in_intervals(intervals, codepoint: int) -> bool:
+    lo, hi = 0, len(intervals) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        a, b = intervals[mid]
+        if codepoint < a:
+            hi = mid - 1
+        elif codepoint > b:
+            lo = mid + 1
+        else:
+            return True
+    return False
+
+
+class _ThreadList:
+    """Priority-ordered thread list with O(1) pc dedupe."""
+
+    __slots__ = ("threads", "seen")
+
+    def __init__(self, program_size: int):
+        self.threads: list[tuple[int, tuple]] = []
+        self.seen = [False] * program_size
+
+    def clear(self) -> None:
+        self.threads.clear()
+        for index in range(len(self.seen)):
+            self.seen[index] = False
+
+
+def _add_thread(
+    tlist: _ThreadList,
+    program: Program,
+    pc: int,
+    saved: tuple,
+    text: str,
+    pos: int,
+    counter: Counter,
+) -> None:
+    """Follow zero-width instructions from ``pc``, enqueueing char points.
+
+    Iterative DFS with an explicit stack preserves priority order (the
+    first path pushed is explored first).
+    """
+    stack = [(pc, saved)]
+    insts = program.insts
+    while stack:
+        pc, saved = stack.pop()
+        if tlist.seen[pc]:
+            continue
+        tlist.seen[pc] = True
+        counter.ops += 1
+        inst = insts[pc]
+        op = inst.op
+        if op == JMP:
+            stack.append((inst.x, saved))
+        elif op == SPLIT:
+            # Push y first so x (preferred) is processed first.
+            stack.append((inst.y, saved))
+            stack.append((inst.x, saved))
+        elif op == SAVE:
+            slots = list(saved)
+            slots[inst.x] = pos
+            stack.append((pc + 1, tuple(slots)))
+        elif op == ASSERT:
+            if _assert_holds(inst.x, text, pos):
+                stack.append((pc + 1, saved))
+        else:
+            tlist.threads.append((pc, saved))
+
+
+def run(
+    program: Program,
+    text: str,
+    start: int = 0,
+    anchored: bool = False,
+    counter: Optional[Counter] = None,
+) -> Optional[tuple]:
+    """Execute the program; returns the winning capture-slot tuple.
+
+    ``anchored=True`` requires the match to begin exactly at ``start``;
+    otherwise the earliest (leftmost) starting position wins, with greedy
+    preference within it.  Slot 0/1 hold the overall span.
+    """
+    if counter is None:
+        counter = Counter()
+    n_slots = program.n_slots
+    empty_saved = (None,) * n_slots
+    current = _ThreadList(len(program))
+    pending = _ThreadList(len(program))
+    matched: Optional[tuple] = None
+
+    pos = start
+    _add_thread(current, program, 0, empty_saved, text, pos, counter)
+    while True:
+        char = text[pos] if pos < len(text) else None
+        code = ord(char) if char is not None else -1
+        pending.clear()
+        index = 0
+        threads = current.threads
+        while index < len(threads):
+            pc, saved = threads[index]
+            index += 1
+            counter.ops += 1
+            inst = program.insts[pc]
+            op = inst.op
+            if op == MATCH:
+                matched = saved
+                # Lower-priority threads can no longer win; cut them.
+                break
+            if char is None:
+                continue
+            if op == CHAR:
+                if char == inst.x:
+                    _add_thread(pending, program, pc + 1, saved, text,
+                                pos + 1, counter)
+            elif op == RANGE:
+                if _in_intervals(inst.x, code):
+                    _add_thread(pending, program, pc + 1, saved, text,
+                                pos + 1, counter)
+            elif op == ANY:
+                if char != "\n":
+                    _add_thread(pending, program, pc + 1, saved, text,
+                                pos + 1, counter)
+        # Unanchored search: seed a fresh start at the next position, but
+        # only while no match has been found (leftmost-first).
+        if char is None:
+            break
+        pos += 1
+        current, pending = pending, current
+        if not anchored and matched is None:
+            _add_thread(current, program, 0, empty_saved, text, pos, counter)
+        if not current.threads and (matched is not None or anchored):
+            break
+    return matched
+
+
+__all__ = ["Counter", "run"]

@@ -1,0 +1,20 @@
+"""Video telephony substrate (the paper's Skype workload).
+
+Interactive calls differ from streaming in exactly the ways §3.3
+identifies: nothing can be prefetched, every frame crosses the kernel
+stack (packet processing on the CPU), and the pipeline runs encode *and*
+decode plus mux/demux both ways.  QoE metrics: call setup delay
+(network-centric) and frame rate (device-centric).
+"""
+
+from repro.rtc.call import CallConfig, CallResult, VideoCall
+from repro.rtc.abr import SkypeLikeAbr, RTC_LADDER, RtcFormat
+
+__all__ = [
+    "CallConfig",
+    "CallResult",
+    "RTC_LADDER",
+    "RtcFormat",
+    "SkypeLikeAbr",
+    "VideoCall",
+]

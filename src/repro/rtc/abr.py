@@ -1,0 +1,98 @@
+"""Skype-like call quality adaptation.
+
+The paper observes (§3.3) that Skype's ABR is aggressive: it lowers the
+*call video quality* when the software perceives poor throughput — and a
+slow CPU looks exactly like poor throughput to it.  The model captures
+that with a capability probe at call setup: the client estimates the
+achievable frame rate per format from its current CPU speed and picks the
+highest format whose estimate clears a floor, so slow clocks negotiate
+low-resolution video (as the paper reports) yet still run below the
+30 fps target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.device import Device
+
+
+@dataclass(frozen=True)
+class RtcFormat:
+    """One call video format (each direction)."""
+
+    name: str
+    width: int
+    height: int
+    bitrate_bps: float
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+#: Call ladder; 360p is Skype's video floor.
+RTC_LADDER = (
+    RtcFormat("360p", 640, 360, 0.5e6),
+    RtcFormat("480p", 854, 480, 0.9e6),
+    RtcFormat("720p", 1280, 720, 1.8e6),
+)
+
+#: Reference pixel count (720p) for the pipeline cost scale.
+_REF_PIXELS = 1280 * 720
+
+
+@dataclass(frozen=True)
+class RtcCostModel:
+    """Per-direction, per-frame CPU cost of the media pipeline.
+
+    ``sw_encode_ops_per_pixel`` applies on phones whose codec block is not
+    usable from the app (vendor OMX integration gaps on low-end chipsets
+    force software encoding — the classic Skype-on-cheap-Android path).
+    """
+
+    base_ops: float = 18e6
+    pixel_ops: float = 30e6  # scaled by pixels/REF_PIXELS
+    sw_encode_ops_per_pixel: float = 70.0
+
+    def direction_ops(self, fmt: RtcFormat, sw_encode: bool) -> float:
+        ops = self.base_ops + self.pixel_ops * fmt.pixels / _REF_PIXELS
+        if sw_encode:
+            ops += self.sw_encode_ops_per_pixel * fmt.pixels
+        return ops
+
+
+class SkypeLikeAbr:
+    """Capability probe: pick the best format the CPU can sustain."""
+
+    def __init__(self, cost: RtcCostModel = RtcCostModel(),
+                 min_estimated_fps: float = 15.0,
+                 target_fps: float = 30.0,
+                 ladder: Sequence[RtcFormat] = RTC_LADDER):
+        self.cost = cost
+        self.min_estimated_fps = min_estimated_fps
+        self.target_fps = target_fps
+        self.ladder = tuple(sorted(ladder, key=lambda f: f.pixels))
+
+    def needs_sw_encode(self, device: Device) -> bool:
+        codec = device.accelerators.codec
+        return codec is None or not codec.rtc_usable
+
+    def estimate_fps(self, device: Device, fmt: RtcFormat) -> float:
+        """Frame rate the send pipeline sustains at the current clock."""
+        ops = self.cost.direction_ops(fmt, self.needs_sw_encode(device))
+        return min(self.target_fps * 2, device.current_rate_hz / ops)
+
+    def select(self, device: Device) -> RtcFormat:
+        """Highest format within the display and the capability floor."""
+        choice = self.ladder[0]
+        for fmt in self.ladder:
+            if fmt.height > device.spec.display_height:
+                continue
+            if self.estimate_fps(device, fmt) >= self.min_estimated_fps:
+                choice = fmt
+        return choice
+
+
+__all__ = ["RTC_LADDER", "RtcCostModel", "RtcFormat", "SkypeLikeAbr"]

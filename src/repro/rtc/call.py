@@ -1,0 +1,135 @@
+"""A video call: signaling setup, then the per-frame media pipeline.
+
+**Call setup** is a signaling exchange (registration, capability
+negotiation, key exchange, relay probing) whose CPU cost dominates on a
+slow clock; the paper measures an 18-second swing across the Nexus4
+ladder and attributes it to client-side processing, since the network
+never changes.
+
+**Media loop**: every frame period, a send pipeline (capture → preprocess
+→ encode → mux → packetize) and a receive pipeline (depacketize → demux →
+decode → render) each run one CPU task; hardware codecs offload the
+en/decode where the chipset allows (see
+:class:`~repro.rtc.abr.SkypeLikeAbr`).  Frame packets cross the kernel
+stack both ways — nothing is prefetchable in an interactive call, which
+is why telephony, unlike streaming, degrades linearly with the clock.
+
+The achieved frame rate is frames completed over wall time, capped at the
+30 fps target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.device import Device
+from repro.netstack import HostStack, Link, TcpConnection
+from repro.rtc.abr import RtcCostModel, RtcFormat, SkypeLikeAbr
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class CallConfig:
+    """Call tunables (defaults calibrated to Figs 2c/5)."""
+
+    target_fps: float = 30.0
+    call_duration_s: float = 30.0
+    #: Signaling: message count and per-message client CPU (crypto,
+    #: capability negotiation, relay probing).
+    setup_messages: int = 8
+    setup_ops_per_message: float = 1.5e9
+    setup_message_bytes: float = 1_200.0
+    #: Single-core scheduling-thrash multiplier (cf. the video player).
+    single_core_pipeline_factor: float = 1.45
+
+
+@dataclass
+class CallResult:
+    """QoE outcome of one call (§2.1 metrics)."""
+
+    format: RtcFormat
+    setup_delay_s: float = 0.0
+    frames_sent: int = 0
+    call_wall_s: float = 0.0
+    sw_encode: bool = False
+    energy_j: float = 0.0
+
+    @property
+    def frame_rate(self) -> float:
+        if self.call_wall_s <= 0:
+            return 0.0
+        return self.frames_sent / self.call_wall_s
+
+
+class VideoCall:
+    """Places one call from the device to a LAN peer."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: Device,
+        link: Link,
+        config: CallConfig = CallConfig(),
+        abr: Optional[SkypeLikeAbr] = None,
+        stack: Optional[HostStack] = None,
+    ):
+        self.env = env
+        self.device = device
+        self.link = link
+        self.config = config
+        self.abr = abr or SkypeLikeAbr(target_fps=config.target_fps)
+        self.stack = stack or HostStack(env, device)
+
+    def _setup(self, conn: TcpConnection):
+        """Process: the signaling exchange that answers the call."""
+        yield from conn.connect()
+        for _ in range(self.config.setup_messages):
+            yield from conn.send(self.config.setup_message_bytes)
+            yield from self.device.run(self.config.setup_ops_per_message)
+            yield from conn.receive(self.config.setup_message_bytes)
+
+    def run(self):
+        """Process: set up and hold the call; returns a :class:`CallResult`."""
+        env = self.env
+        config = self.config
+        self.device.set_working_set(0.33)
+        conn = TcpConnection(env, self.link, self.stack, tls=True)
+        yield from self._setup(conn)
+
+        fmt = self.abr.select(self.device)
+        result = CallResult(format=fmt,
+                            sw_encode=self.abr.needs_sw_encode(self.device))
+        result.setup_delay_s = env.now
+
+        frame_period = 1.0 / config.target_fps
+        frame_bytes = fmt.bitrate_bps / 8.0 / config.target_fps
+        direction_ops = self.abr.cost.direction_ops(fmt, result.sw_encode)
+        if self.device.cpu.online_cores == 1:
+            direction_ops *= config.single_core_pipeline_factor
+        call_start = env.now
+        end_at = call_start + config.call_duration_s
+        while env.now < end_at:
+            started = env.now
+            send_task = self.device.submit(direction_ops)
+            recv_task = self.device.submit(direction_ops)
+            pkt_out = env.process(self.stack.process_tx(frame_bytes))
+            pkt_in = env.process(self.stack.process_rx(frame_bytes))
+            codec = self.device.accelerators.codec
+            waits = [send_task.done, recv_task.done, pkt_out, pkt_in]
+            if codec is not None and codec.rtc_usable:
+                hw_time = (codec.encode_time(fmt.width, fmt.height, 1)
+                           + codec.decode_time(fmt.width, fmt.height, 1))
+                waits.append(env.timeout(hw_time))
+            yield env.all_of(waits)
+            result.frames_sent += 1
+            elapsed = env.now - started
+            if elapsed < frame_period:
+                # The pipeline beat the frame budget; pace to the camera.
+                yield env.timeout(frame_period - elapsed)
+        result.call_wall_s = env.now - call_start
+        result.energy_j = self.device.energy.energy_j
+        return result
+
+
+__all__ = ["CallConfig", "CallResult", "VideoCall"]

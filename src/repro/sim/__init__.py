@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+A self-contained, deterministic event-driven simulation core in the style of
+SimPy: simulated time advances only through scheduled events, and concurrent
+behaviours are written as Python generator *processes* that yield events.
+
+Public API:
+
+* :class:`Environment` — the event loop and simulated clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process` — awaitable events.
+* :class:`AllOf`, :class:`AnyOf` — event composition.
+* :class:`Resource` — limited-capacity resource with FIFO queueing.
+* :class:`Store` — producer/consumer buffer of Python objects.
+* :class:`Container` — continuous-level reservoir (e.g. playback buffer).
+* :class:`Interrupt` — exception injected into a process by `Process.interrupt`.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Container, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,387 @@
+"""Event loop, events, and processes for the simulation kernel.
+
+The design follows the classic event-list pattern: a heap of
+``(time, priority, sequence, event)`` entries, popped in order.  Processes are
+Python generators; each ``yield`` hands the scheduler an :class:`Event` to wait
+on, and the scheduler resumes the generator (with ``send`` or ``throw``) when
+that event fires.
+
+Determinism: ties in time are broken first by an explicit priority, then by a
+monotonically increasing sequence number, so two runs of the same program
+produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority used for urgent bookkeeping events (process resumption).
+PRIORITY_URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for illegal kernel operations (e.g. triggering twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event moves through three states: *pending* (created, not scheduled),
+    *triggered* (scheduled on the event list with a value), and *processed*
+    (callbacks have run).  Waiting on an already-processed event resumes the
+    waiter immediately (at the current simulated time).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (not with :meth:`fail`)."""
+        if self._ok is None:
+            raise SimulationError("event has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or the exception, if it failed)."""
+        if self._ok is None:
+            raise SimulationError("event has not yet been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, propagated to waiters."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (fired) event — for chaining."""
+        if self._scheduled:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a new process on the next step."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    fires successfully, its value is sent back into the generator; when it
+    fails, the exception is thrown into the generator (and is considered
+    handled from the kernel's perspective).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process raises :class:`SimulationError`;
+        interrupting a process that is waiting detaches it from its target
+        event first (the target may still fire, but the process will not be
+        resumed by it).
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        failure = Event(self.env)
+        failure._ok = False
+        failure._value = Interrupt(cause)
+        failure.callbacks.append(self._resume)
+        self.env.schedule(failure, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as error:
+                self._target = None
+                self._ok = False
+                self._value = error
+                self.env.schedule(self)
+                if not self.callbacks:
+                    # Nobody is waiting on this process: surface the crash.
+                    self.env._crashed.append((self, error))
+                break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    SimulationError(f"process yielded non-event {next_event!r}")
+                )
+                continue
+            if next_event.env is not self.env:
+                self._generator.throw(
+                    SimulationError("yielded event belongs to another environment")
+                )
+                continue
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its outcome.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            break
+        self.env._active_process = None
+
+
+class ConditionEvent(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composition events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._fired_count = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("all composed events must share the env")
+            if event.callbacks is None:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+        self._check_initial()
+
+    def _check_initial(self) -> None:
+        if not self.events and not self._scheduled:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        return {
+            event: event._value
+            for event in self.events
+            if event._ok is not None and event._ok
+        }
+
+    def _observe(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._fired_count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Fires when every composed event has fired."""
+
+    def _satisfied(self) -> bool:
+        return self._fired_count == len(self.events)
+
+
+class AnyOf(ConditionEvent):
+    """Fires as soon as any composed event fires."""
+
+    def _check_initial(self) -> None:
+        if not self.events and not self._scheduled:
+            self.succeed({})
+
+    def _satisfied(self) -> bool:
+        return self._fired_count >= 1
+
+
+class Environment:
+    """The simulation clock and event loop.
+
+    Usage::
+
+        env = Environment()
+        env.process(some_generator(env))
+        env.run(until=100.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Place ``event`` on the event list ``delay`` time units from now."""
+        event._scheduled = True
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+        self._sequence += 1
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if self._crashed:
+            process, error = self._crashed.pop()
+            raise error
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until time ``until``, event ``until``, or event-list exhaustion.
+
+        Returns the value of ``until`` when it is an event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self._now = horizon
+        return None

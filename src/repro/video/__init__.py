@@ -1,0 +1,29 @@
+"""Video streaming substrate (the paper's YouTube workload).
+
+A DASH-like player on top of the device and network models:
+
+* device-aware ABR (YouTube serves device-specific formats — no FullHD to
+  an Intex),
+* hardware-codec decode (CPU-independent, present on every Table 1 phone),
+* CPU post-processing (demux, audio, compositing) parallelized across
+  cores — the Android media framework, unlike the browser, scales with
+  core count,
+* 120 s read-ahead prefetch, which masks slow-clock network degradation.
+
+QoE metrics match §2.1: start-up latency (network-centric) and stall
+ratio (device-centric).
+"""
+
+from repro.video.spec import Format, VideoSpec, FORMAT_LADDER
+from repro.video.abr import DeviceAwareAbr
+from repro.video.player import PlayerConfig, StreamingPlayer, StreamingResult
+
+__all__ = [
+    "DeviceAwareAbr",
+    "FORMAT_LADDER",
+    "Format",
+    "PlayerConfig",
+    "StreamingPlayer",
+    "StreamingResult",
+    "VideoSpec",
+]

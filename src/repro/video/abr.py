@@ -1,0 +1,44 @@
+"""Device-aware format selection (YouTube's serving policy).
+
+The paper notes that YouTube serves device-specific content — "it does not
+stream FullHD video on an Intex phone" — and that on the high-bandwidth
+testbed LAN the received quality is otherwise constant.  Selection is
+therefore capped by display resolution and hardware-decoder capability,
+and (network being ample) does not adapt during playback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.device import Device
+from repro.video.spec import FORMAT_LADDER, Format
+
+
+class DeviceAwareAbr:
+    """Chooses the best format the device can display and decode."""
+
+    def __init__(self, ladder: Sequence[Format] = FORMAT_LADDER):
+        if not ladder:
+            raise ValueError("format ladder must be non-empty")
+        self.ladder = tuple(sorted(ladder, key=lambda f: f.bitrate_bps))
+
+    def select(self, device: Device,
+               bandwidth_bps: Optional[float] = None) -> Format:
+        """Best format within display, decoder, and bandwidth limits."""
+        codec = device.accelerators.codec
+        best = self.ladder[0]
+        for fmt in self.ladder:
+            if fmt.height > device.spec.display_height:
+                continue
+            if codec is not None and not codec.supports(
+                fmt.width, fmt.height, fmt.fps
+            ):
+                continue
+            if bandwidth_bps is not None and fmt.bitrate_bps > 0.8 * bandwidth_bps:
+                continue
+            best = fmt
+        return best
+
+
+__all__ = ["DeviceAwareAbr"]

@@ -1,0 +1,57 @@
+"""Video formats and clip descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Format:
+    """One encoding of a clip (a DASH representation)."""
+
+    name: str
+    width: int
+    height: int
+    fps: float
+    bitrate_bps: float
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.width * self.height
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bitrate_bps / 8.0
+
+
+#: YouTube-style ladder for a 2018 clip (H.264).
+FORMAT_LADDER = (
+    Format("144p", 256, 144, 30.0, 0.20e6),
+    Format("240p", 426, 240, 30.0, 0.40e6),
+    Format("360p", 640, 360, 30.0, 0.75e6),
+    Format("480p", 854, 480, 30.0, 1.40e6),
+    Format("720p", 1280, 720, 30.0, 2.80e6),
+    Format("1080p", 1920, 1080, 30.0, 4.80e6),
+)
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """A clip to stream: the paper uses a 5-minute FullHD video."""
+
+    duration_s: float = 300.0
+    segment_s: float = 2.0
+    manifest_bytes: int = 4_000
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.segment_s <= 0:
+            raise ValueError("durations must be positive")
+
+    @property
+    def n_segments(self) -> int:
+        import math
+
+        return math.ceil(self.duration_s / self.segment_s)
+
+
+__all__ = ["FORMAT_LADDER", "Format", "VideoSpec"]

@@ -1,0 +1,24 @@
+"""Web browsing substrate: WProf-style page loads on the device model.
+
+* :class:`~repro.web.browser.BrowserEngine` — loads a synthetic page over
+  the simulated network on the simulated device, producing a
+  :class:`~repro.web.metrics.PageLoadResult` with the paper's metrics
+  (PLT, compute vs network on the critical path, scripting share).
+* :class:`~repro.web.browser.CpuScriptExecutor` — default all-on-CPU
+  script execution; :mod:`repro.dsp` provides the offloading executor.
+* :class:`~repro.web.costmodel.BrowserCostModel` — calibrated activity
+  costs.
+"""
+
+from repro.web.browser import BrowserEngine, CpuScriptExecutor
+from repro.web.costmodel import REFERENCE_RATE, BrowserCostModel
+from repro.web.metrics import ActivityRecord, PageLoadResult
+
+__all__ = [
+    "ActivityRecord",
+    "BrowserCostModel",
+    "BrowserEngine",
+    "CpuScriptExecutor",
+    "PageLoadResult",
+    "REFERENCE_RATE",
+]

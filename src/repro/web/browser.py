@@ -1,0 +1,348 @@
+"""The browser engine: dependency-graph page loads on the device model.
+
+Thread architecture mirrors what the paper observes ("only two of the
+cores are utilized"):
+
+* **main thread** — HTML parsing, script execution, style, layout, paint,
+  strictly serialized (a capacity-1 resource);
+* **IO thread** — request issuance and response handling (small per-request
+  CPU charges, no serialization with main);
+* **raster pool** — image decoding on up to two worker threads;
+* the kernel's **softirq** context (via :class:`~repro.netstack.HostStack`)
+  processes packets.
+
+Adding cores beyond two therefore barely moves PLT, while everything on
+the main thread scales with single-core speed — the paper's central Web
+finding.
+
+Scheduling follows Chrome's behaviour at WProf granularity: the preload
+scanner starts every statically visible fetch as soon as the HTML arrives;
+synchronous scripts block parsing at their document position (including
+document.write-injected chains the scanner cannot see); async scripts run
+on the main thread when their fetch completes; script-discovered resources
+fetch after their parent executes; images start when the parser reaches
+them (or after first paint, for lazy ones); style/layout/paint wait on
+parsing and every stylesheet.
+
+Every activity is recorded with dependency edges, producing the WProf-style
+DAG that :mod:`repro.analysis.critpath` decomposes and that the ePLT
+offload replay re-prices.
+
+The DOMLoad/onload event — PLT, as the paper measures it — fires when all
+fetches, executions, decodes, and the paint have completed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.critpath import extract_critical_path
+from repro.device import Device
+from repro.jsruntime import CpuCostModel, Script
+from repro.netstack import HostStack, HttpClient, Link, Origin
+from repro.sim import Environment, Event, Resource
+from repro.web.costmodel import BrowserCostModel
+from repro.web.metrics import ActivityRecord, PageLoadResult
+from repro.workloads.pages import PageSpec, WebObject
+
+
+class CpuScriptExecutor:
+    """Default script execution: everything on the device CPU."""
+
+    def __init__(self, js_cost: Optional[CpuCostModel] = None):
+        self.js_cost = js_cost or CpuCostModel()
+
+    def execute(self, browser: "BrowserEngine", script: Script):
+        """Process: run ``script`` (caller holds the main thread)."""
+        env = browser.env
+        cost = browser.cost
+        yield from browser.device.run(
+            script.compile_ops, cost.script_stall(script.compile_ops)
+        )
+        for function in script.functions:
+            ops = self.js_cost.function_ops(function)
+            started = env.now
+            yield from browser.device.run(ops, cost.script_stall(ops))
+            if function.has_regex:
+                browser.result.script_regex_fn_time += env.now - started
+                browser.result.regex_fn_intervals.append((started, env.now))
+
+
+class BrowserEngine:
+    """Loads :class:`~repro.workloads.pages.PageSpec` pages on a device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: Device,
+        link: Link,
+        stack: Optional[HostStack] = None,
+        http: Optional[HttpClient] = None,
+        cost: Optional[BrowserCostModel] = None,
+        executor: Optional[CpuScriptExecutor] = None,
+        raster_threads: int = 2,
+    ):
+        self.env = env
+        self.device = device
+        self.link = link
+        self.stack = stack or HostStack(env, device)
+        self.http = http or HttpClient(env, link, self.stack)
+        self.cost = cost or BrowserCostModel()
+        self.executor = executor or CpuScriptExecutor()
+        self._main = Resource(env, capacity=1)
+        self._raster = Resource(env, capacity=max(1, raster_threads))
+        self._paint_done: Event = env.event()
+        self._next_id = 0
+        self.result: PageLoadResult = PageLoadResult(url="", category="")
+
+    # -- activity bookkeeping ---------------------------------------------
+
+    def _activity(self, kind: str, label: str, start: float,
+                  deps: Iterable[int]) -> int:
+        """Record a finished activity; returns its id."""
+        act_id = self._next_id
+        self._next_id += 1
+        record = ActivityRecord(
+            id=act_id, kind=kind, label=label, start=start,
+            end=self.env.now, deps=tuple(deps),
+        )
+        self.result.activities.append(record)
+        return act_id
+
+    def _account_main(self, kind: str, start: float) -> None:
+        duration = self.env.now - start
+        result = self.result
+        result.main_busy_time += duration
+        attr = f"{kind}_time"
+        if hasattr(result, attr):
+            setattr(result, attr, getattr(result, attr) + duration)
+
+    def _on_main(self, kind: str, label: str, ops: float, stall: float,
+                 deps: Iterable[int]):
+        """Process: run a compute activity on the main thread; returns id."""
+        with self._main.request() as grant:
+            yield grant
+            started = self.env.now
+            yield from self.device.run(ops, stall)
+            self._account_main(kind, started)
+            return self._activity(kind, label, started, deps)
+
+    def _execute_script_on_main(self, script: Script, deps: Iterable[int]):
+        """Process: execute a script on the main thread; returns id."""
+        with self._main.request() as grant:
+            yield grant
+            started = self.env.now
+            yield from self.executor.execute(self, script)
+            self._account_main("script", started)
+            return self._activity("script", script.url, started, deps)
+
+    # -- fetch pipeline -----------------------------------------------------
+
+    def _fetch(self, obj: WebObject, deps: Iterable[int]):
+        """Process: issue and complete one fetch; returns activity id."""
+        started = self.env.now
+        # Request issuance (cookie lookup, cache check, connection mgmt).
+        yield from self.device.run(self.cost.issue_request_ops)
+        origin = Origin(obj.origin_host)
+        yield from self.http.fetch(origin, obj.url, obj.size_bytes)
+        # Response handling on the IO thread.
+        yield from self.device.run(self.cost.receive_ops)
+        self.result.bytes_fetched += obj.size_bytes
+        self.result.n_requests += 1
+        return self._activity("fetch", obj.url, started, deps)
+
+    def _decode_image(self, obj: WebObject, deps: Iterable[int]):
+        """Process: decode a fetched image on the raster pool; returns id."""
+        with self._raster.request() as grant:
+            yield grant
+            started = self.env.now
+            yield from self.device.run(self.cost.decode_work(obj.size_bytes))
+            self.result.decode_time += self.env.now - started
+            return self._activity("decode", obj.url, started, deps)
+
+    def _object_lifecycle(
+        self,
+        page: PageSpec,
+        obj: WebObject,
+        fetched: dict[int, Event],
+        executed: dict[int, Event],
+        discovered: dict[int, Event],
+    ):
+        """Process: trigger → fetch → (execute / decode) for one object."""
+        if obj.parent is None:
+            raise ValueError("root object has no lifecycle process")
+        parent = page.objects[obj.parent]
+        if parent.kind != "html":
+            # Script-discovered: wait for the parent script to execute.
+            trigger = yield executed[parent.index]
+        elif obj.kind == "img":
+            # Images are found by the parser (or, below the fold, by the
+            # lazy loader after first paint) — not the preload scanner.
+            trigger = yield (self._paint_done if obj.lazy
+                             else discovered[obj.index])
+        elif not obj.scanner_visible:
+            # document.write-inserted scripts: invisible to the preload
+            # scanner, fetched only when the parser reaches them.
+            trigger = yield discovered[obj.index]
+        else:
+            # Scripts/styles/fonts: the preload scanner fires right after
+            # the document arrives.
+            trigger = yield fetched[parent.index]
+        fetch_id = yield from self._fetch(obj, (trigger,))
+        fetched[obj.index].succeed(fetch_id)
+        if obj.kind == "img":
+            return (yield from self._decode_image(obj, (fetch_id,)))
+        if obj.kind == "js" and obj.script is not None:
+            if obj.blocking:
+                # The parser executes blocking scripts at their document
+                # position; wait so onload includes the execution.
+                return (yield executed[obj.index])
+            exec_id = yield from self._execute_script_on_main(
+                obj.script, (fetch_id,)
+            )
+            executed[obj.index].succeed(exec_id)
+            return exec_id
+        return fetch_id
+
+    # -- parsing with sync-script blocking -----------------------------------
+
+    def _parse_document(
+        self,
+        page: PageSpec,
+        fetched: dict[int, Event],
+        executed: dict[int, Event],
+        discovered: dict[int, Event],
+        html_fetch_id: int,
+    ):
+        """Process: chunked HTML parse, stalling at synchronous scripts.
+
+        Returns the id of the last parse/script activity.  As the parse
+        position advances past an image's document position, its
+        ``discovered`` event fires and the image fetch starts.
+        """
+        total_ops, total_stall = self.cost.parse_work(page.root.size_bytes)
+
+        def chain_of(obj: WebObject) -> list[WebObject]:
+            out = [obj]
+            for child in page.objects:
+                if (child.parent == obj.index and child.blocking
+                        and child.kind == "js"):
+                    out.extend(chain_of(child))
+            return out
+
+        roots = sorted(
+            (o for o in page.objects
+             if o.blocking and o.kind == "js" and o.parent == 0),
+            key=lambda o: o.discovery_frac,
+        )
+        blockers = [obj for root in roots for obj in chain_of(root)]
+        pending_imgs = sorted(
+            ((o.discovery_frac, o.index) for o in page.objects
+             if o.kind == "img" and o.parent == 0 and not o.lazy),
+            reverse=True,
+        )
+
+        def advance_to(position: float, cause: int) -> None:
+            while pending_imgs and pending_imgs[-1][0] <= position:
+                _, index = pending_imgs.pop()
+                discovered[index].succeed(cause)
+
+        prev_id = html_fetch_id
+        position = 0.0
+        for blocker in blockers:
+            frac = blocker.discovery_frac - position
+            if frac > 0:
+                prev_id = yield from self._on_main(
+                    "parse", page.root.url, total_ops * frac,
+                    total_stall * frac, (prev_id,),
+                )
+                position = blocker.discovery_frac
+                advance_to(position, prev_id)
+            if not blocker.scanner_visible and blocker.parent == 0:
+                # The parser just reached the inline script that inserts
+                # this one — only now does its fetch start.
+                discovered[blocker.index].succeed(prev_id)
+            fetch_id = yield fetched[blocker.index]
+            assert blocker.script is not None
+            prev_id = yield from self._execute_script_on_main(
+                blocker.script, (fetch_id, prev_id)
+            )
+            executed[blocker.index].succeed(prev_id)
+        remaining = 1.0 - position
+        if remaining > 0:
+            prev_id = yield from self._on_main(
+                "parse", page.root.url, total_ops * remaining,
+                total_stall * remaining, (prev_id,),
+            )
+        advance_to(1.0, prev_id)
+        return prev_id
+
+    # -- top level ------------------------------------------------------------
+
+    def load(self, page: PageSpec):
+        """Process: load ``page``; returns a :class:`PageLoadResult`."""
+        env = self.env
+        self.device.set_working_set(page.working_set_gb)
+        self.result = PageLoadResult(url=page.url, category=page.category)
+        self._paint_done = env.event()
+        fetched: dict[int, Event] = {o.index: env.event() for o in page.objects}
+        executed: dict[int, Event] = {
+            o.index: env.event()
+            for o in page.objects
+            if o.kind == "js" and o.script is not None
+        }
+        discovered: dict[int, Event] = {
+            o.index: env.event()
+            for o in page.objects
+            if (o.parent == 0 and not o.lazy
+                and (o.kind == "img" or not o.scanner_visible))
+        }
+
+        # Navigate: fetch the document itself.
+        html_fetch_id = yield from self._fetch(page.root, ())
+        fetched[0].succeed(html_fetch_id)
+
+        lifecycles = [
+            env.process(
+                self._object_lifecycle(page, obj, fetched, executed, discovered)
+            )
+            for obj in page.objects[1:]
+        ]
+        parse_end_id = yield from self._parse_document(
+            page, fetched, executed, discovered, html_fetch_id
+        )
+
+        # Style/layout/paint: wait for every stylesheet (and font).
+        css_bytes = sum(o.size_bytes for o in page.objects if o.kind == "css")
+        render_blockers = [
+            fetched[o.index] for o in page.objects if o.kind in ("css", "font")
+        ]
+        blocker_ids = yield env.all_of(render_blockers)
+        style_deps = [parse_end_id] + list(blocker_ids.values())
+        style_ops, style_stall = self.cost.style_work(css_bytes)
+        style_id = yield from self._on_main(
+            "style", "stylesheets", style_ops, style_stall, style_deps
+        )
+        layout_id = yield from self._on_main(
+            "layout", "layout", page.layout_ops,
+            self.cost.layout_stall(page.layout_ops), (style_id,),
+        )
+        paint_id = yield from self._on_main(
+            "paint", "paint", page.paint_ops,
+            self.cost.layout_stall(page.paint_ops), (layout_id,),
+        )
+        self._paint_done.succeed(paint_id)
+
+        # onload: all subresource lifecycles complete.
+        yield env.all_of(lifecycles)
+        result = self.result
+        result.plt = env.now
+        result.energy_j = self.device.energy.energy_j
+        path = extract_critical_path(result.activities, result.plt)
+        result.compute_time = path.compute_time
+        result.network_time = path.network_time
+        result.cp_kind_breakdown = path.kind_breakdown
+        return result
+
+
+__all__ = ["BrowserEngine", "CpuScriptExecutor"]

@@ -1,0 +1,28 @@
+"""Synthetic workload corpora.
+
+The paper's workloads are proprietary or ephemeral (Alexa top-50 pages as
+of 2018, a YouTube 1080p clip, Skype calls, HTTP Archive history).  This
+package generates seeded synthetic equivalents with the structural
+properties the results depend on:
+
+* :mod:`pages` — Alexa-like page corpus; category controls scripting share
+  (news/sports script-heavy), sizes match 2018 HTTP Archive medians.
+* :mod:`regexcorpus` — the regex patterns/subjects embedded in page
+  scripts (URL matching, ad-list filtering, query parsing …), profiled
+  through the real engine.
+* :mod:`video` — segment traces for streaming and frame traces for
+  telephony.
+* :mod:`history` — the 2011–2018 device-spec / page-size evolution dataset
+  behind Fig 1.
+"""
+
+from repro.workloads.pages import PageSpec, WebObject, generate_page, generate_corpus
+from repro.workloads.regexcorpus import RegexWorkloadFactory
+
+__all__ = [
+    "PageSpec",
+    "RegexWorkloadFactory",
+    "WebObject",
+    "generate_corpus",
+    "generate_page",
+]

@@ -1,0 +1,152 @@
+"""Regex patterns and subjects found in real page scripts.
+
+The paper traces the slowest (news/sports) pages and finds ~20 % of
+scripting time in regular-expression evaluation, dominated by URL matching
+and list operations (ad/tracker filtering).  The factory below builds
+exactly those call shapes: each pattern is drawn from a fixed library of
+realistic pattern strings, and subjects are synthesized from the page's own
+URLs, user-agent strings, cookies, and text snippets.
+
+All costs are *measured* by running the calls through
+:mod:`repro.regexlib` (via :class:`~repro.jsruntime.profile.RegexProfiler`),
+not assumed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.jsruntime import RegexCall, RegexProfiler
+
+#: Pattern library: (name, pattern, mode).  Modes mirror how the pattern is
+#: used in page scripts: 'test' for filters (DFA-able), 'search'/'findall'
+#: when the script needs the span or all matches (Pike VM).
+PATTERN_LIBRARY: tuple[tuple[str, str, str], ...] = (
+    ("url-parse", r"https?://([\w.-]+)(/[\w./%-]*)?", "search"),
+    ("url-filter", r"(?:doubleclick|adservice|analytics|tracker|pixel)\.", "test"),
+    ("static-asset", r"\.(?:png|jpg|jpeg|gif|webp|svg)$", "test"),
+    ("article-path", r"^/(?:articles|video|story|news)/\d{4}/", "test"),
+    ("query-params", r"[?&]([^=&]+)=([^&]*)", "findall"),
+    ("email", r"[\w.+-]+@[\w-]+\.[a-zA-Z]{2,6}", "search"),
+    ("iso-date", r"\d{4}-\d{2}-\d{2}", "search"),
+    ("ua-mobile", r"(?:Android|iPhone|iPad|Mobile|Tablet)", "test"),
+    ("ua-version", r"(?:Chrome|Firefox|Safari)/(\d+)\.(\d+)", "search"),
+    ("cookie-get", r"(?:^|; )sessionid=([^;]*)", "search"),
+    ("token-scan", r"[A-Za-z]+\d{2,}", "findall"),
+    ("whitespace-trim", r"^\s+|\s+$", "search"),
+    ("hex-color", r"#[0-9a-fA-F]{6}\b", "search"),
+    ("semver", r"(\d+)\.(\d+)\.(\d+)", "search"),
+    ("html-tag", r"<(\w+)[^>]*>", "findall"),
+)
+
+_USER_AGENTS = (
+    "Mozilla/5.0 (Linux; Android 8.0.0; Pixel 2 Build/OPD1) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/63.0.3239.111 Mobile Safari/537.36",
+    "Mozilla/5.0 (Linux; Android 6.0; Intex Amaze Plus) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/63.0.3239.111 Mobile Safari/537.36",
+)
+
+_COOKIE = (
+    "sessionid=7f3a9c2e11d84b6f; _ga=GA1.2.1042.15305; consent=yes; "
+    "region=us-east; theme=dark; visits=17; ab_bucket=treatment-7"
+)
+
+_HOSTS = (
+    "cdn.example-news.com", "static.sportsfeed.tv", "img.shopnow.io",
+    "api.healthhub.org", "edge.bizwire.net", "ads.trackerhub.com",
+    "analytics.metricsrv.com", "fonts.webtype.cdn",
+)
+
+_PATH_WORDS = (
+    "articles", "video", "story", "news", "scores", "live", "assets",
+    "static", "img", "js", "css", "api", "v2", "widgets", "embed",
+)
+
+_EXTENSIONS = (".js", ".css", ".png", ".jpg", ".webp", ".svg", ".html", "")
+
+
+def synth_url(rng: random.Random) -> str:
+    """One plausible URL."""
+    host = rng.choice(_HOSTS)
+    depth = rng.randint(1, 4)
+    parts = [rng.choice(_PATH_WORDS) for _ in range(depth)]
+    if rng.random() < 0.4:
+        parts.append(str(rng.randint(2015, 2018)))
+    name = f"res{rng.randint(1, 9999)}{rng.choice(_EXTENSIONS)}"
+    url = f"https://{host}/{'/'.join(parts)}/{name}"
+    if rng.random() < 0.3:
+        url += f"?id={rng.randint(1, 10_000)}&ref={rng.choice(_PATH_WORDS)}"
+    return url
+
+
+def synth_url_list(rng: random.Random, count: int) -> str:
+    """A newline-joined URL list (the subject of filter scans)."""
+    return "\n".join(synth_url(rng) for _ in range(count))
+
+
+def synth_text(rng: random.Random, words: int) -> str:
+    """Prose-like text with embedded dates/emails/colors."""
+    vocab = (
+        "the match report covers", "score", "update", "live", "team",
+        "breaking", "story", "contact us at press@example-news.com",
+        "published 2018-03-14", "style #1a2b3c", "version 63.0.3239",
+    )
+    return " ".join(rng.choice(vocab) for _ in range(words))
+
+
+class RegexWorkloadFactory:
+    """Builds measured :class:`RegexCall` lists for page scripts.
+
+    One factory (and its profiler cache) is shared across a whole corpus;
+    subjects are drawn from a bounded pool so distinct (pattern, subject)
+    pairs stay few enough to execute genuinely at generation time.
+    """
+
+    #: Subject pool sizes (per kind) — bounds real engine executions.
+    _POOL = 6
+
+    def __init__(self, seed: int = 2018):
+        self.profiler = RegexProfiler()
+        rng = random.Random(seed)
+        self._url_lists = [synth_url_list(rng, 30) for _ in range(self._POOL)]
+        self._urls = [synth_url(rng) for _ in range(self._POOL * 2)]
+        self._texts = [synth_text(rng, 60) for _ in range(self._POOL)]
+
+    def _subject_for(self, name: str, rng: random.Random) -> str:
+        if name in ("url-filter", "static-asset", "article-path", "token-scan"):
+            return rng.choice(self._url_lists)
+        if name in ("url-parse", "query-params"):
+            return rng.choice(self._urls)
+        if name in ("ua-mobile", "ua-version"):
+            return _USER_AGENTS[rng.randrange(len(_USER_AGENTS))]
+        if name == "cookie-get":
+            return _COOKIE
+        return rng.choice(self._texts)
+
+    def make_calls(self, rng: random.Random, n_calls: int,
+                   list_heavy: bool) -> tuple[RegexCall, ...]:
+        """``n_calls`` measured calls; ``list_heavy`` biases toward the
+        repeated list-filtering shape that dominates news/sports scripts."""
+        calls = []
+        for _ in range(n_calls):
+            if list_heavy and rng.random() < 0.6:
+                name, pattern, mode = PATTERN_LIBRARY[1]  # url-filter
+                repeats = rng.randint(20, 120)
+            else:
+                name, pattern, mode = PATTERN_LIBRARY[
+                    rng.randrange(len(PATTERN_LIBRARY))
+                ]
+                repeats = rng.randint(1, 12)
+            subject = self._subject_for(name, rng)
+            calls.append(self.profiler.profile(pattern, subject, mode, repeats))
+        return tuple(calls)
+
+
+__all__ = [
+    "PATTERN_LIBRARY",
+    "RegexWorkloadFactory",
+    "synth_text",
+    "synth_url",
+    "synth_url_list",
+]

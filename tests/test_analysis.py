@@ -1,0 +1,90 @@
+"""Unit tests for statistics and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    Summary,
+    ascii_bars,
+    ascii_series,
+    cdf_points,
+    mean,
+    render_table,
+    stdev,
+    summarize,
+)
+from repro.analysis.stats import median, percentile
+
+
+def test_mean_empty():
+    assert mean([]) == 0.0
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3]) == pytest.approx(2.0)
+
+
+def test_stdev():
+    assert stdev([5]) == 0.0
+    assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+
+def test_median():
+    assert median([]) == 0.0
+    assert median([3, 1, 2]) == 2
+    assert median([1, 2, 3, 4]) == pytest.approx(2.5)
+
+
+def test_percentile():
+    values = list(range(11))
+    assert percentile(values, 0) == 0
+    assert percentile(values, 50) == 5
+    assert percentile(values, 100) == 10
+    assert percentile(values, 25) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_summarize():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.n == 3
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+    assert "±" in str(summary)
+
+
+def test_summarize_empty():
+    assert summarize([]) == Summary(0.0, 0.0, 0.0, 0.0, 0)
+
+
+def test_cdf_points():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)),
+                      (2.0, pytest.approx(2 / 3)),
+                      (3.0, pytest.approx(1.0))]
+
+
+def test_render_table_alignment():
+    table = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_ascii_bars():
+    chart = ascii_bars(["a", "bb"], [1.0, 2.0])
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") > lines[0].count("#")
+
+
+def test_ascii_bars_mismatched_lengths():
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1.0, 2.0])
+
+
+def test_ascii_series():
+    out = ascii_series({"s": [(1, 1.0), (2, 4.0)]})
+    assert "series: s" in out
+    assert out.count("|") == 2

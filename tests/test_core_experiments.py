@@ -1,0 +1,73 @@
+"""Unit tests for the trial runner and background load."""
+
+import random
+
+import pytest
+
+from repro.core import BackgroundLoad, TrialRunner
+from repro.core.experiments import derive_seed
+from repro.device import Device, NEXUS4, by_name
+from repro.sim import Environment
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed("exp", 0) == derive_seed("exp", 0)
+    assert derive_seed("exp", 0) != derive_seed("exp", 1)
+    assert derive_seed("a", 0) != derive_seed("b", 0)
+
+
+def test_runner_executes_all_trials():
+    runner = TrialRunner(trials=4, experiment="t")
+    seeds = runner.run(lambda seed: seed)
+    assert len(seeds) == 4
+    assert len(set(seeds)) == 4
+
+
+def test_runner_summary():
+    runner = TrialRunner(trials=3, experiment="t")
+    summary = runner.summary(lambda seed: float(seed % 7))
+    assert summary.n == 3
+
+
+def test_runner_rejects_zero_trials():
+    with pytest.raises(ValueError):
+        TrialRunner(trials=0)
+
+
+def test_background_load_emits_bursts():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    load = BackgroundLoad(env, device, random.Random(1))
+    env.run(until=10.0)
+    assert load.bursts > 3
+    assert device.cpu.busy_time() > 0
+
+
+def test_background_load_seed_determinism():
+    counts = []
+    for _ in range(2):
+        env = Environment()
+        device = Device(env, NEXUS4, governor="PF")
+        load = BackgroundLoad(env, device, random.Random(42))
+        env.run(until=5.0)
+        counts.append(load.bursts)
+    assert counts[0] == counts[1]
+
+
+def test_background_load_hurts_slow_devices_more():
+    """The jitter mechanism behind the paper's low-end error bars."""
+    stolen = {}
+    for name in ("Intex Amaze+", "Google Pixel2"):
+        env = Environment()
+        device = Device(env, by_name(name), governor="PF")
+        BackgroundLoad(env, device, random.Random(7))
+        env.run(until=10.0)
+        stolen[name] = device.cpu.busy_time()
+    assert stolen["Intex Amaze+"] > 2 * stolen["Google Pixel2"]
+
+
+def test_background_load_rejects_bad_interval():
+    env = Environment()
+    device = Device(env, NEXUS4)
+    with pytest.raises(ValueError):
+        BackgroundLoad(env, device, random.Random(1), mean_interval_s=0)

@@ -1,0 +1,139 @@
+"""Unit tests for the five Android frequency governors."""
+
+import pytest
+
+from repro.device import Device, NEXUS4
+from repro.device.governors import (
+    GOVERNOR_CODES,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+    make_governor,
+)
+from repro.sim import Environment
+
+
+def finish_time(governor_code, cycles=2e9, **gov_kwargs):
+    env = Environment()
+    device = Device(env, NEXUS4, governor=governor_code)
+    task = device.submit(cycles)
+    env.run(task.done)
+    return env.now
+
+
+def test_performance_pins_max():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    assert device.cpu.clusters[0].freq_mhz == 1512
+
+
+def test_powersave_caps_low():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PW")
+    assert device.cpu.clusters[0].freq_mhz <= 1512 * 0.65
+
+
+def test_userspace_defaults_to_max_step():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="US")
+    assert device.cpu.clusters[0].freq_mhz == 1512
+
+
+def test_userspace_explicit_setspeed():
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=810)
+    assert device.cpu.clusters[0].freq_mhz == 810
+
+
+def test_ondemand_starts_low_and_ramps_under_load():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="OD")
+    cluster = device.cpu.clusters[0]
+    assert cluster.freq_mhz == 384
+    task = device.submit(2e9)
+    env.run(task.done)
+    assert cluster.freq_mhz == 1512
+
+
+def test_ondemand_scales_down_when_idle():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="OD")
+    task = device.submit(2e9)
+    env.run(task.done)
+    env.run(until=env.now + 1.0)  # idle samples
+    assert device.cpu.clusters[0].freq_mhz == 384
+
+
+def test_interactive_ramps_quickly():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="IN")
+    device.submit(5e9)
+    env.run(until=0.15)
+    assert device.cpu.clusters[0].freq_mhz >= 1242
+
+
+def test_governor_ordering_matches_paper():
+    """PF ≈ IN ≈ OD < US-default=PF < PW for a sustained task."""
+    times = {code: finish_time(code) for code in GOVERNOR_CODES}
+    assert times["PF"] <= times["IN"] <= times["PF"] * 1.15
+    assert times["OD"] <= times["PF"] * 1.25
+    assert times["US"] == pytest.approx(times["PF"], rel=1e-6)
+    assert times["PW"] > times["PF"] * 1.5
+
+
+def test_powersave_cap_fraction_configurable():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    governor = PowersaveGovernor(env, device.cpu, cap_fraction=0.25)
+    governor.apply_initial(device.cpu.clusters[0])
+    assert device.cpu.clusters[0].freq_mhz <= 0.35 * 1512
+
+
+def test_powersave_rejects_bad_fraction():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    with pytest.raises(ValueError):
+        PowersaveGovernor(env, device.cpu, cap_fraction=0.0)
+
+
+def test_make_governor_accepts_codes_and_names():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    assert isinstance(make_governor("ondemand", env, device.cpu),
+                      OndemandGovernor)
+    assert isinstance(make_governor("IN", env, device.cpu),
+                      InteractiveGovernor)
+    assert isinstance(make_governor("performance", env, device.cpu),
+                      PerformanceGovernor)
+    assert isinstance(make_governor("userspace", env, device.cpu),
+                      UserspaceGovernor)
+
+
+def test_make_governor_unknown_name():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    with pytest.raises(ValueError, match="unknown governor"):
+        make_governor("turbo", env, device.cpu)
+
+
+def test_governor_cannot_start_twice():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    with pytest.raises(RuntimeError):
+        device.governor.start()
+
+
+def test_ondemand_threshold_validation():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PF")
+    with pytest.raises(ValueError):
+        OndemandGovernor(env, device.cpu, up_threshold=1.5)
+
+
+def test_pinned_clock_overrides_governor_choice():
+    env = Environment()
+    device = Device(env, NEXUS4, governor="PW", pinned_mhz=1512)
+    assert device.governor_code == "US"
+    assert device.cpu.clusters[0].freq_mhz == 1512

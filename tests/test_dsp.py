@@ -1,0 +1,143 @@
+"""Unit/behaviour tests for the DSP offload path (§4.2)."""
+
+import pytest
+
+from repro.device import Device, NEXUS4, PIXEL2, by_name
+from repro.dsp import DspCostModel, DspRegexKernel, DspScriptExecutor, FastRpcChannel
+from repro.jsruntime import CpuCostModel, JsFunction, RegexCall
+from repro.netstack import Link
+from repro.sim import Environment
+from repro.web import BrowserEngine
+
+
+def make_channel(spec=PIXEL2, pinned_mhz=None):
+    env = Environment()
+    device = Device(env, spec, governor="OD", pinned_mhz=pinned_mhz)
+    return env, device, FastRpcChannel(env, device)
+
+
+def test_channel_requires_dsp():
+    env = Environment()
+    device = Device(env, by_name("SG S6-edge"))
+    with pytest.raises(ValueError, match="no DSP"):
+        FastRpcChannel(env, device)
+
+
+def test_invoke_accounts_busy_time_and_energy():
+    env, device, channel = make_channel()
+    cycles = 787e6 * 0.05  # 50 ms of DSP time
+
+    def caller():
+        yield from channel.invoke(1_000, cycles)
+
+    env.run(env.process(caller()))
+    assert channel.invocations == 1
+    assert channel.busy_s == pytest.approx(0.05, rel=0.1)
+    assert channel.energy_j == pytest.approx(
+        channel.busy_s * device.accelerators.dsp.active_w
+    )
+
+
+def test_invoke_serializes_on_dsp_context():
+    env, device, channel = make_channel()
+    cycles = 787e6 * 0.1
+
+    def caller():
+        yield from channel.invoke(0, cycles)
+
+    procs = [env.process(caller()) for _ in range(2)]
+    env.run(env.all_of(procs))
+    assert env.now >= 0.2  # two 100 ms kernels cannot overlap
+
+
+def test_invoke_rejects_negative():
+    env, device, channel = make_channel()
+
+    def caller():
+        yield from channel.invoke(-1, 10)
+
+    env.process(caller())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def _regex_call(mode="test", pike=1000, dfa=200, repeats=10):
+    return RegexCall(pattern="x", subject_chars=100, mode=mode,
+                     pike_ops=pike, dfa_ops=dfa, repeats=repeats)
+
+
+def test_kernel_prices_dfa_cheaper_than_pike():
+    cost = DspCostModel()
+    dfa_call = _regex_call(mode="test")
+    pike_call = _regex_call(mode="search", dfa=None)
+    assert cost.call_cycles(dfa_call) < cost.call_cycles(pike_call)
+
+
+def test_kernel_scales_with_repeats():
+    cost = DspCostModel()
+    once = cost.call_cycles(_regex_call(repeats=1))
+    many = cost.call_cycles(_regex_call(repeats=50))
+    assert many == pytest.approx(50 * once)
+
+
+def test_payload_counts_each_subject_once():
+    kernel = DspRegexKernel()
+    function = JsFunction("f", 1e6, (_regex_call(repeats=100),))
+    assert kernel.payload_bytes(function) == 100  # subject_chars, not ×repeats
+
+
+def test_dsp_beats_cpu_on_regex_heavy_function():
+    """Per-function regex pricing: DSP cycles convert to less time than
+    the CPU's engine-op pricing at ondemand-era clocks."""
+    call = _regex_call(mode="test", dfa=5000, repeats=500)
+    function = JsFunction("f", 0.0, (call,))
+    cpu_cost = CpuCostModel()
+    dsp = DspRegexKernel()
+    cpu_seconds = cpu_cost.function_regex_ops(function) / (1363e6 * 2.2)
+    dsp_seconds = dsp.regex_cycles(function) / 787e6
+    assert dsp_seconds < cpu_seconds
+
+
+def test_offload_reduces_plt_on_sports_pages(sports_pages):
+    page = sports_pages[0]
+
+    def load(offload):
+        env = Environment()
+        device = Device(env, PIXEL2, governor="OD")
+        link = Link(env)
+        if offload:
+            executor = DspScriptExecutor(FastRpcChannel(env, device))
+            browser = BrowserEngine(env, device, link, executor=executor)
+        else:
+            browser = BrowserEngine(env, device, link)
+        return env.run(env.process(browser.load(page)))
+
+    cpu = load(False)
+    dsp = load(True)
+    assert dsp.plt < cpu.plt
+    assert dsp.script_time < cpu.script_time
+
+
+def test_offload_win_grows_at_low_clock(sports_pages):
+    page = sports_pages[0]
+
+    def load(offload, mhz):
+        env = Environment()
+        device = Device(env, PIXEL2, pinned_mhz=mhz)
+        link = Link(env)
+        if offload:
+            executor = DspScriptExecutor(FastRpcChannel(env, device))
+            browser = BrowserEngine(env, device, link, executor=executor)
+        else:
+            browser = BrowserEngine(env, device, link)
+        return env.run(env.process(browser.load(page))).plt
+
+    win_low = 1 - load(True, 300) / load(False, 300)
+    win_high = 1 - load(True, 2457) / load(False, 2457)
+    assert win_low > win_high
+    assert win_low > 0.15
+
+
+def test_nexus4_dsp_is_slower_but_present():
+    assert NEXUS4.accelerators.dsp is not None
+    assert NEXUS4.accelerators.dsp.freq_mhz < PIXEL2.accelerators.dsp.freq_mhz

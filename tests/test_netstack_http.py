@@ -1,0 +1,102 @@
+"""Unit tests for the HTTP client and connection pooling."""
+
+import pytest
+
+from repro.device import Device, NEXUS4
+from repro.netstack import HostStack, HttpClient, Link, Origin
+from repro.sim import Environment
+
+
+def make_client(max_conns=6, tls=True):
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=1512)
+    link = Link(env)
+    stack = HostStack(env, device)
+    client = HttpClient(env, link, stack, max_conns_per_origin=max_conns,
+                        tls=tls)
+    return env, client
+
+
+def test_fetch_returns_response():
+    env, client = make_client()
+    origin = Origin("example.com")
+
+    def fetch():
+        return (yield from client.fetch(origin, "/index.html", 50_000))
+
+    response = env.run(env.process(fetch()))
+    assert response.body_bytes == 50_000
+    assert response.finished_at > response.started_at
+    assert client.responses == [response]
+
+
+def test_first_fetch_pays_dns():
+    env, client = make_client()
+    origin = Origin("example.com", server_think_s=0.0)
+
+    def fetch_twice():
+        first = yield from client.fetch(origin, "/1", 1_000)
+        second = yield from client.fetch(origin, "/2", 1_000)
+        return first, second
+
+    first, second = env.run(env.process(fetch_twice()))
+    assert first.elapsed > second.elapsed  # DNS + connect amortized
+
+
+def test_connection_reuse():
+    env, client = make_client()
+    origin = Origin("example.com")
+
+    def fetches():
+        r1 = yield from client.fetch(origin, "/1", 1_000)
+        r2 = yield from client.fetch(origin, "/2", 1_000)
+        return r1, r2
+
+    r1, r2 = env.run(env.process(fetches()))
+    assert r1.from_new_connection
+    assert not r2.from_new_connection
+
+
+def test_per_origin_connection_limit():
+    env, client = make_client(max_conns=2)
+    origin = Origin("example.com", server_think_s=0.2)
+    fetchers = [
+        env.process(client.fetch(origin, f"/{i}", 1_000)) for i in range(4)
+    ]
+    env.run(env.all_of(fetchers))
+    fresh = sum(1 for r in client.responses if r.from_new_connection)
+    assert fresh == 2  # pool capped at two connections
+
+
+def test_distinct_origins_get_distinct_pools():
+    env, client = make_client(max_conns=1)
+    a, b = Origin("a.com"), Origin("b.com")
+    fetchers = [
+        env.process(client.fetch(a, "/", 1_000)),
+        env.process(client.fetch(b, "/", 1_000)),
+    ]
+    env.run(env.all_of(fetchers))
+    assert all(r.from_new_connection for r in client.responses)
+
+
+def test_bad_pool_size_rejected():
+    env = Environment()
+    device = Device(env, NEXUS4)
+    link = Link(env)
+    stack = HostStack(env, device)
+    with pytest.raises(ValueError):
+        HttpClient(env, link, stack, max_conns_per_origin=0)
+
+
+def test_plain_http_faster_than_tls():
+    durations = {}
+    for tls in (True, False):
+        env, client = make_client(tls=tls)
+        origin = Origin("example.com")
+
+        def fetch():
+            yield from client.fetch(origin, "/", 20_000)
+
+        env.run(env.process(fetch()))
+        durations[tls] = env.now
+    assert durations[False] < durations[True]

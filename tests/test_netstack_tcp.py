@@ -1,0 +1,134 @@
+"""Unit tests for TCP over the simulated link and host stack."""
+
+import pytest
+
+from repro.device import Device, NEXUS4
+from repro.netstack import HostStack, Link, LinkSpec, TcpConnection
+from repro.netstack.hoststack import MSS, PacketCostModel
+from repro.netstack.tcp import INITIAL_WINDOW_BYTES, MAX_WINDOW_BYTES
+from repro.sim import Environment
+
+
+def make_stack(mhz=1512, link_spec=None):
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=mhz)
+    link = Link(env, link_spec or LinkSpec())
+    stack = HostStack(env, device, PacketCostModel())
+    return env, device, link, stack
+
+
+def test_connect_costs_one_rtt():
+    env, _, link, stack = make_stack()
+    conn = TcpConnection(env, link, stack)
+
+    def connector():
+        yield from conn.connect()
+
+    env.run(env.process(connector()))
+    assert conn.connected
+    assert env.now >= link.spec.rtt_s
+    assert env.now < link.spec.rtt_s + 0.01
+
+
+def test_tls_connect_costs_more():
+    env, _, link, stack = make_stack()
+    plain = TcpConnection(env, link, stack)
+
+    def run_connect(conn):
+        yield from conn.connect()
+
+    env.run(env.process(run_connect(plain)))
+    plain_time = env.now
+
+    env2, _, link2, stack2 = make_stack()
+    tls = TcpConnection(env2, link2, stack2, tls=True)
+    env2.run(env2.process(run_connect(tls)))
+    assert env2.now > plain_time + 2 * link2.spec.rtt_s * 0.9
+
+
+def test_small_download_dominated_by_rtt():
+    env, _, link, stack = make_stack()
+    conn = TcpConnection(env, link, stack)
+
+    def fetch():
+        yield from conn.request(400, 10_000)
+
+    env.run(env.process(fetch()))
+    # handshake + request + response ≈ 2 RTT; far below 100 ms.
+    assert env.now < 0.1
+    assert conn.bytes_downloaded == 10_000
+
+
+def test_large_download_approaches_link_rate():
+    env, _, link, stack = make_stack()
+    conn = TcpConnection(env, link, stack)
+    nbytes = 4_000_000
+
+    def fetch():
+        yield from conn.receive(nbytes)
+
+    env.run(env.process(fetch()))
+    goodput = nbytes * 8 / env.now
+    assert goodput > 0.8 * link.spec.goodput_bps
+
+
+def test_slow_start_doubles_window():
+    env, _, link, stack = make_stack()
+    conn = TcpConnection(env, link, stack)
+    assert conn.cwnd == INITIAL_WINDOW_BYTES
+
+    def fetch():
+        yield from conn.receive(INITIAL_WINDOW_BYTES * 3)
+
+    env.run(env.process(fetch()))
+    assert conn.cwnd > INITIAL_WINDOW_BYTES
+    assert conn.cwnd <= MAX_WINDOW_BYTES
+
+
+def test_cpu_bound_receive_slower_at_low_clock():
+    durations = {}
+    for mhz in (384, 1512):
+        env, _, link, stack = make_stack(mhz=mhz)
+        conn = TcpConnection(env, link, stack)
+
+        def fetch():
+            yield from conn.receive(2_000_000)
+
+        env.run(env.process(fetch()))
+        durations[mhz] = env.now
+    assert durations[384] > durations[1512] * 1.2
+
+
+def test_packet_cost_model_counts_segments():
+    cost = PacketCostModel()
+    assert cost.rx_ops(1) == cost.rx_ops_per_pkt
+    assert cost.rx_ops(MSS) == cost.rx_ops_per_pkt
+    assert cost.rx_ops(MSS + 1) == 2 * cost.rx_ops_per_pkt
+
+
+def test_tls_adds_per_byte_cost():
+    cost = PacketCostModel()
+    assert cost.rx_ops(MSS, tls=True) > cost.rx_ops(MSS)
+
+
+def test_upload_counted():
+    env, _, link, stack = make_stack()
+    conn = TcpConnection(env, link, stack)
+
+    def push():
+        yield from conn.send(50_000)
+
+    env.run(env.process(push()))
+    assert conn.bytes_uploaded == 50_000
+    assert stack.tx_bytes >= 50_000
+
+
+def test_server_think_time_delays_response():
+    env, _, link, stack = make_stack()
+    conn = TcpConnection(env, link, stack)
+
+    def fetch():
+        yield from conn.request(400, 1_000, server_think_s=0.5)
+
+    env.run(env.process(fetch()))
+    assert env.now > 0.5

@@ -1,0 +1,94 @@
+"""Tests for named groups, sub, split, and groupdict."""
+
+import re as pyre
+
+import pytest
+
+from repro.regexlib import Regex, RegexSyntaxError
+
+
+def test_named_group_capture():
+    regex = Regex(r"(?P<user>[\w.]+)@(?P<host>[\w.]+)")
+    found = regex.search("write to bob.smith@example.com today")
+    assert found is not None
+    assert found.group("user") == "bob.smith"
+    assert found.group("host") == "example.com"
+    assert found.groupdict() == {"user": "bob.smith", "host": "example.com"}
+    assert found.span("user") == found.span(1)
+
+
+def test_named_groups_agree_with_re():
+    pattern = r"(?P<key>[^=&]+)=(?P<value>[^&]*)"
+    subject = "a=1&bb=22"
+    ours = Regex(pattern).search(subject)
+    ref = pyre.search(pattern, subject)
+    assert ours.groupdict() == ref.groupdict()
+
+
+def test_unmatched_named_group_is_none():
+    regex = Regex(r"(?P<a>x)|(?P<b>y)")
+    found = regex.search("y")
+    assert found.groupdict() == {"a": None, "b": "y"}
+
+
+def test_unknown_group_name_raises():
+    found = Regex(r"(?P<a>x)").search("x")
+    with pytest.raises(IndexError):
+        found.group("missing")
+
+
+def test_duplicate_group_name_rejected():
+    with pytest.raises(RegexSyntaxError, match="duplicate"):
+        Regex(r"(?P<a>x)(?P<a>y)")
+
+
+def test_bad_group_name_rejected():
+    with pytest.raises(RegexSyntaxError):
+        Regex(r"(?P<1bad>x)")
+    with pytest.raises(RegexSyntaxError):
+        Regex(r"(?P<>x)")
+
+
+def test_named_and_positional_groups_interleave():
+    regex = Regex(r"(\d+)-(?P<mid>\w+)-(\d+)")
+    found = regex.search("12-abc-34")
+    assert found.groups() == ("12", "abc", "34")
+    assert found.group("mid") == "abc"
+    assert found.group(2) == "abc"
+
+
+@pytest.mark.parametrize("pattern,repl,subject", [
+    (r"\d+", "#", "a1b22c333"),
+    (r"\s+", " ", "too   many    spaces"),
+    (r"cat", "dog", "cat and cat"),
+    (r"x", "y", "no match"),
+])
+def test_sub_matches_re(pattern, repl, subject):
+    ours, n = Regex(pattern).sub(repl, subject)
+    ref, ref_n = pyre.subn(pattern, repl, subject)
+    assert ours == ref
+    assert n == ref_n
+
+
+def test_sub_with_count():
+    text, n = Regex(r"\d").sub("*", "1 2 3 4", count=2)
+    assert text == "* * 3 4"
+    assert n == 2
+
+
+@pytest.mark.parametrize("pattern,subject", [
+    (r",", "a,b,,c"),
+    (r"\s+", "split   on whitespace"),
+    (r"-", "nodashes"),
+])
+def test_split_matches_re(pattern, subject):
+    assert Regex(pattern).split(subject) == pyre.split(pattern, subject)
+
+
+def test_split_maxsplit():
+    assert Regex(r",").split("a,b,c,d", maxsplit=2) == ["a", "b", "c,d"]
+
+
+def test_split_ignores_empty_matches():
+    # CPython would splice empties; we document skipping them instead.
+    assert Regex(r"x*").split("abc") == ["abc"]

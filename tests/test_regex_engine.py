@@ -1,0 +1,165 @@
+"""Differential tests: the engine agrees with Python's ``re`` module."""
+
+import re as pyre
+
+import pytest
+
+from repro.regexlib import Regex
+
+#: (pattern, subject) pairs spanning the supported syntax.
+CASES = [
+    (r"abc", "xxabcyy"),
+    (r"abc", "no match here"),
+    (r"a+b", "aaab"),
+    (r"a+?b", "aaab"),
+    (r"a*", "aaa"),
+    (r"a*?", "aaa"),
+    (r"(a|b)*c", "ababac"),
+    (r"\d{2,4}", "x12345y"),
+    (r"[a-f0-9]+", "zzdeadbeef99!"),
+    (r"https?://([^/]+)/(\w*)", "see https://example.com/path and more"),
+    (r"^hello", "hello world"),
+    (r"^hello", "say hello"),
+    (r"world$", "hello world"),
+    (r"world$", "worldly"),
+    (r"\bcat\b", "a cat sat"),
+    (r"\bcat\b", "concatenate"),
+    (r"\Bcat", "concat"),
+    (r"colou?r", "my color is"),
+    (r"(\w+)@(\w+)\.com", "mail me bob@example.com ok"),
+    (r"[^aeiou ]+", "the quick brown"),
+    (r"(ab){2,3}", "ababab"),
+    (r"(ab){2,3}?", "ababab"),
+    (r"x|", "y"),
+    (r"a{3}", "aaaa"),
+    (r"a{3}", "aa"),
+    (r"\.{2}", "wait.. what"),
+    (r"[\d\s]+", "a 12 3b"),
+    (r"(a(b(c)))d", "xabcd"),
+    (r"(?:foo|bar)+", "foobarfoo!"),
+    (r"[?&]([^=&]+)=([^&]*)", "/p?a=1&b=2"),
+    (r"\d{4}-\d{2}-\d{2}", "due 2018-10-31 ok"),
+    (r"(?:Chrome|Firefox)/(\d+)\.(\d+)", "Chrome/63.0.3239 Mobile"),
+    (r"#[0-9a-fA-F]{6}\b", "color #1A2b3C."),
+    (r"(a?)(b?)c", "bc"),
+    (r"((a)|(b))+", "ab"),
+    (r"[abc]*bc", "aabc"),
+    (r"\s+$", "trailing   "),
+    (r"^\s*", "   lead"),
+    (r"(x+)(x*)", "xxxx"),
+]
+
+
+@pytest.mark.parametrize("pattern,subject", CASES)
+def test_search_matches_re(pattern, subject):
+    ours = Regex(pattern).search(subject)
+    ref = pyre.search(pattern, subject)
+    if ref is None:
+        assert ours is None
+    else:
+        assert ours is not None
+        assert ours.span() == ref.span()
+        assert ours.groups() == ref.groups()
+
+
+@pytest.mark.parametrize("pattern,subject", CASES)
+def test_match_anchored_matches_re(pattern, subject):
+    ours = Regex(pattern).match(subject)
+    ref = pyre.match(pattern, subject)
+    if ref is None:
+        assert ours is None
+    else:
+        assert ours is not None
+        assert ours.span() == ref.span()
+
+
+@pytest.mark.parametrize("pattern,subject", CASES)
+def test_fullmatch_matches_re(pattern, subject):
+    ours = Regex(pattern).fullmatch(subject)
+    ref = pyre.fullmatch(pattern, subject)
+    assert (ours is None) == (ref is None)
+    if ref is not None:
+        assert ours.span() == ref.span()
+
+
+@pytest.mark.parametrize("pattern,subject", [
+    # Lazy empty-capable patterns are excluded: CPython ≥3.7 retries a
+    # non-empty match at the same position after an empty one, a
+    # backtracking-specific rule this engine (like RE2) does not follow.
+    (p, s) for p, s in CASES
+    if pyre.compile(p).groups == 0 and "*?" not in p
+])
+def test_findall_matches_re(pattern, subject):
+    assert Regex(pattern).findall(subject) == pyre.findall(pattern, subject)
+
+
+def test_match_object_api():
+    found = Regex(r"(\w+)=(\d+)").search("key=42;")
+    assert found is not None
+    assert found.group() == "key=42"
+    assert found.group(1) == "key"
+    assert found.group(2) == "42"
+    assert found.start() == 0
+    assert found.end() == 6
+    assert found.span(2) == (4, 6)
+    with pytest.raises(IndexError):
+        found.group(3)
+
+
+def test_unmatched_group_is_none():
+    found = Regex(r"(a)|(b)").search("b")
+    assert found.groups() == (None, "b")
+
+
+def test_finditer_non_overlapping():
+    spans = [m.span() for m in Regex(r"\d+").finditer("1 22 333")]
+    assert spans == [(0, 1), (2, 4), (5, 8)]
+
+
+def test_finditer_handles_empty_matches():
+    spans = [m.span() for m in Regex(r"a*").finditer("ab")]
+    ref = [m.span() for m in pyre.finditer(r"a*", "ab")]
+    assert spans == ref
+
+
+def test_ledger_accumulates():
+    regex = Regex(r"\d+")
+    assert regex.ledger.total_ops == 0
+    regex.search("abc123")
+    ops_after_one = regex.ledger.total_ops
+    assert ops_after_one > 0
+    regex.search("abc123")
+    assert regex.ledger.total_ops == pytest.approx(2 * ops_after_one)
+    assert regex.ledger.calls == 2
+
+
+def test_test_uses_dfa_when_possible():
+    regex = Regex(r"(?:doubleclick|adservice)\.")
+    assert regex.test("https://adservice.example/x")
+    assert not regex.test("https://img.example/x")
+    assert regex.ledger.dfa_ops > 0
+    assert regex.ledger.pike_ops == 0
+
+
+def test_test_falls_back_for_word_boundaries():
+    regex = Regex(r"\bcat\b")
+    assert regex.test("a cat here")
+    assert regex.ledger.pike_ops > 0
+    assert regex.ledger.dfa_ops == 0
+
+
+def test_compile_caches():
+    from repro.regexlib import compile as regex_compile
+
+    first = regex_compile(r"cache-me-\d+")
+    second = regex_compile(r"cache-me-\d+")
+    assert first is second
+
+
+def test_longer_subject_costs_more():
+    regex = Regex(r"zzz")
+    regex.search("a" * 100)
+    small = regex.ledger.total_ops
+    regex2 = Regex(r"zzz")
+    regex2.search("a" * 1000)
+    assert regex2.ledger.total_ops > small * 5

@@ -1,0 +1,195 @@
+"""Unit tests for the regex parser and AST normalization."""
+
+import pytest
+
+from repro.regexlib import RegexSyntaxError
+from repro.regexlib.parse import (
+    Alternate,
+    Anchor,
+    CharClass,
+    Concat,
+    Dot,
+    Empty,
+    Group,
+    Literal,
+    Repeat,
+    merge_intervals,
+    negate_intervals,
+    parse,
+)
+
+
+def test_literal_sequence():
+    node, groups = parse("abc")
+    assert isinstance(node, Concat)
+    assert [type(p) for p in node.parts] == [Literal] * 3
+    assert groups == 0
+
+
+def test_empty_pattern():
+    node, _ = parse("")
+    assert isinstance(node, Empty)
+
+
+def test_alternation_order_preserved():
+    node, _ = parse("a|b|c")
+    assert isinstance(node, Alternate)
+    assert [p.char for p in node.options] == ["a", "b", "c"]
+
+
+def test_group_counting():
+    _, groups = parse("(a)(b(c))")
+    assert groups == 3
+
+
+def test_non_capturing_group_not_counted():
+    node, groups = parse("(?:ab)+")
+    assert groups == 0
+    assert isinstance(node, Repeat)
+
+
+def test_quantifiers():
+    star, _ = parse("a*")
+    plus, _ = parse("a+")
+    quest, _ = parse("a?")
+    assert (star.min, star.max) == (0, None)
+    assert (plus.min, plus.max) == (1, None)
+    assert (quest.min, quest.max) == (0, 1)
+    assert not star.lazy
+
+
+def test_lazy_quantifiers():
+    node, _ = parse("a+?")
+    assert node.lazy
+
+
+def test_counted_repeats():
+    exact, _ = parse("a{3}")
+    assert (exact.min, exact.max) == (3, 3)
+    ranged, _ = parse("a{2,5}")
+    assert (ranged.min, ranged.max) == (2, 5)
+    open_ended, _ = parse("a{4,}")
+    assert (open_ended.min, open_ended.max) == (4, None)
+
+
+def test_brace_without_digits_is_literal():
+    node, _ = parse("a{x}")
+    assert isinstance(node, Concat)
+    assert node.parts[1].char == "{"
+
+
+def test_reversed_repeat_bounds_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("a{5,2}")
+
+
+def test_huge_repeat_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("a{1,100000}")
+
+
+def test_char_class_ranges_merge():
+    node, _ = parse("[a-cb-e]")
+    assert isinstance(node, CharClass)
+    assert node.intervals == ((ord("a"), ord("e")),)
+
+
+def test_negated_class():
+    node, _ = parse("[^a]")
+    assert isinstance(node, CharClass)
+    # 'a' must not be inside any interval.
+    assert not any(lo <= ord("a") <= hi for lo, hi in node.intervals)
+    assert any(lo <= ord("b") <= hi for lo, hi in node.intervals)
+
+
+def test_class_with_escape_classes():
+    node, _ = parse(r"[\d\s]")
+    assert isinstance(node, CharClass)
+    assert any(lo <= ord("5") <= hi for lo, hi in node.intervals)
+    assert any(lo <= ord(" ") <= hi for lo, hi in node.intervals)
+
+
+def test_literal_dash_in_class():
+    node, _ = parse("[a-]")
+    assert any(lo <= ord("-") <= hi for lo, hi in node.intervals)
+
+
+def test_reversed_range_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("[z-a]")
+
+
+def test_unterminated_class_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("[abc")
+
+
+def test_unbalanced_paren_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("(ab")
+    with pytest.raises(RegexSyntaxError):
+        parse("ab)")
+
+
+def test_dangling_quantifier_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("*a")
+
+
+def test_quantified_anchor_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse("^*")
+
+
+def test_anchors():
+    node, _ = parse("^a$")
+    assert isinstance(node.parts[0], Anchor) and node.parts[0].kind == "bol"
+    assert isinstance(node.parts[2], Anchor) and node.parts[2].kind == "eol"
+
+
+def test_word_boundary_escapes():
+    node, _ = parse(r"\ba\B")
+    assert node.parts[0].kind == "wb"
+    assert node.parts[2].kind == "nwb"
+
+
+def test_hex_and_unicode_escapes():
+    node, _ = parse(r"\x41B")
+    assert node.parts[0].char == "A"
+    assert node.parts[1].char == "B"
+
+
+def test_truncated_hex_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse(r"\x4")
+
+
+def test_unknown_escape_rejected():
+    with pytest.raises(RegexSyntaxError):
+        parse(r"\q")
+
+
+def test_dot_node():
+    node, _ = parse(".")
+    assert isinstance(node, Dot)
+
+
+def test_syntax_error_reports_position():
+    try:
+        parse("ab[")
+    except RegexSyntaxError as error:
+        assert error.position >= 2
+        assert error.pattern == "ab["
+    else:  # pragma: no cover
+        pytest.fail("expected RegexSyntaxError")
+
+
+def test_merge_intervals():
+    assert merge_intervals([(5, 9), (1, 3), (4, 6)]) == ((1, 9),)
+    assert merge_intervals([(1, 2), (5, 6)]) == ((1, 2), (5, 6))
+
+
+def test_negate_intervals_roundtrip():
+    intervals = ((10, 20), (30, 40))
+    twice = negate_intervals(negate_intervals(intervals))
+    assert twice == intervals

@@ -1,0 +1,113 @@
+"""Property-based tests: the engine vs Python's ``re`` on generated inputs."""
+
+import re as pyre
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regexlib import Regex
+from repro.regexlib.parse import parse
+
+# -- pattern generator: a safe subset shared with `re` ----------------------
+
+_LITERALS = st.sampled_from(list(string.ascii_lowercase + string.digits))
+
+
+def _char_class() -> st.SearchStrategy[str]:
+    ranges = st.sampled_from(["a-f", "0-9", "m-p", "x-z"])
+    return st.lists(ranges, min_size=1, max_size=2).map(
+        lambda rs: "[" + "".join(rs) + "]"
+    )
+
+
+def _atom() -> st.SearchStrategy[str]:
+    return st.one_of(
+        _LITERALS,
+        st.just("."),
+        st.just(r"\d"),
+        st.just(r"\w"),
+        _char_class(),
+    )
+
+
+def _quantified(atom: str, quant: str) -> str:
+    return atom + quant
+
+
+_QUANTS = st.sampled_from(["", "", "*", "+", "?", "{1,3}", "*?", "+?"])
+
+
+@st.composite
+def patterns(draw) -> str:
+    n = draw(st.integers(1, 5))
+    parts = []
+    for _ in range(n):
+        atom = draw(_atom())
+        if draw(st.booleans()):
+            # A quantified group whose body can match empty (e.g. `(a*)*`)
+            # has backtracking-specific capture semantics that NFA engines
+            # (this one, RE2) intentionally do not reproduce — only
+            # quantify groups with non-empty bodies.
+            inner = draw(_QUANTS)
+            outer = draw(_QUANTS) if inner == "" else ""
+            parts.append("(" + atom + inner + ")" + outer)
+        else:
+            parts.append(_quantified(atom, draw(_QUANTS)))
+    pattern = "".join(parts)
+    if draw(st.booleans()):
+        alt = draw(_atom())
+        pattern = f"(?:{pattern}|{alt})"
+    return pattern
+
+
+_SUBJECTS = st.text(
+    alphabet=string.ascii_lowercase + string.digits + " .-", max_size=40
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pattern=patterns(), subject=_SUBJECTS)
+def test_search_agrees_with_re(pattern, subject):
+    ours = Regex(pattern).search(subject)
+    ref = pyre.search(pattern, subject)
+    assert (ours is None) == (ref is None)
+    if ref is not None:
+        assert ours.span() == ref.span()
+        assert ours.groups() == ref.groups()
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=patterns(), subject=_SUBJECTS)
+def test_dfa_presence_agrees_with_pikevm(pattern, subject):
+    regex = Regex(pattern)
+    via_pike = regex.search(subject) is not None
+    assert regex.test(subject) == via_pike
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=patterns())
+def test_parse_is_deterministic(pattern):
+    first = parse(pattern)
+    second = parse(pattern)
+    assert first == second
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=patterns(), subject=_SUBJECTS)
+def test_cost_is_positive_and_bounded(pattern, subject):
+    """No backtracking blowup: ops bounded by O(program × subject)."""
+    regex = Regex(pattern)
+    regex.search(subject)
+    ops = regex.ledger.total_ops
+    assert ops > 0
+    bound = 16 * (len(regex.program) + 4) * (len(subject) + 4)
+    assert ops < bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(subject=_SUBJECTS)
+def test_findall_roundtrip_literal(subject):
+    """findall on a literal equals str.count-style enumeration."""
+    hits = Regex("ab").findall(subject)
+    assert len(hits) == subject.count("ab")
+    assert all(h == "ab" for h in hits)

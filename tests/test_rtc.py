@@ -1,0 +1,110 @@
+"""Behaviour tests for video telephony (Figs 2c, 5a–5d)."""
+
+import pytest
+
+from repro.device import Device, NEXUS4, PIXEL2, by_name
+from repro.netstack import Link
+from repro.rtc import CallConfig, SkypeLikeAbr, VideoCall
+from repro.rtc.abr import RTC_LADDER, RtcCostModel
+from repro.sim import Environment
+
+
+def call(spec=NEXUS4, duration=10.0, **device_kwargs):
+    env = Environment()
+    device = Device(env, spec, **device_kwargs)
+    video_call = VideoCall(env, device, Link(env),
+                           CallConfig(call_duration_s=duration))
+    return env.run(env.process(video_call.run()))
+
+
+def test_full_rate_at_high_clock():
+    result = call(pinned_mhz=1512)
+    assert result.frame_rate == pytest.approx(30.0, abs=1.5)
+
+
+def test_frame_rate_drops_at_low_clock():
+    """Fig 5a: ≈17 fps at 384 MHz."""
+    result = call(pinned_mhz=384)
+    assert 14.0 < result.frame_rate < 21.0
+
+
+def test_setup_delay_swing_across_ladder():
+    """Fig 5a: ~18 s more setup at 384 vs 1512 MHz."""
+    slow = call(pinned_mhz=384)
+    fast = call(pinned_mhz=1512)
+    swing = slow.setup_delay_s - fast.setup_delay_s
+    assert 12.0 < swing < 24.0
+
+
+def test_setup_delay_monotone_in_clock():
+    setups = [call(pinned_mhz=mhz).setup_delay_s
+              for mhz in (384, 702, 1026, 1512)]
+    assert setups == sorted(setups, reverse=True)
+
+
+def test_low_end_devices_drop_frames():
+    """Fig 2c: 30 fps on the Pixel2 down to ≈18 on the Intex."""
+    intex = call(spec=by_name("Intex Amaze+"), governor="OD")
+    pixel = call(spec=PIXEL2, governor="OD")
+    assert pixel.frame_rate == pytest.approx(30.0, abs=1.5)
+    assert 15.0 < intex.frame_rate < 23.0
+
+
+def test_low_end_uses_software_encoder():
+    intex = call(spec=by_name("Intex Amaze+"), governor="OD")
+    pixel = call(spec=PIXEL2, governor="OD")
+    assert intex.sw_encode
+    assert not pixel.sw_encode
+
+
+def test_abr_negotiates_lower_resolution_at_low_clock():
+    """§3.3: Skype requests low-res video under slow clocks."""
+    slow = call(pinned_mhz=384)
+    fast = call(pinned_mhz=1512)
+    assert slow.format.pixels < fast.format.pixels
+
+
+def test_single_core_halves_frame_rate():
+    one = call(governor="OD", online_cores=1)
+    four = call(governor="OD", online_cores=4)
+    assert one.frame_rate < 0.7 * four.frame_rate
+
+
+def test_powersave_governor_hurts():
+    pw = call(governor="PW")
+    pf = call(governor="PF")
+    assert pw.setup_delay_s > 1.3 * pf.setup_delay_s
+    assert pw.frame_rate <= pf.frame_rate + 0.1
+
+
+def test_memory_has_mild_effect():
+    tight = call(governor="OD", memory_gb=0.5)
+    full = call(governor="OD", memory_gb=2.0)
+    assert tight.frame_rate > 0.6 * full.frame_rate
+
+
+def test_abr_probe_estimates():
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=1512)
+    abr = SkypeLikeAbr()
+    estimates = [abr.estimate_fps(device, fmt) for fmt in RTC_LADDER]
+    # Higher formats are never estimated faster.
+    assert estimates == sorted(estimates, reverse=True)
+
+
+def test_abr_floor_is_lowest_format():
+    env = Environment()
+    device = Device(env, by_name("Intex Amaze+"), pinned_mhz=300)
+    fmt = SkypeLikeAbr().select(device)
+    assert fmt == RTC_LADDER[0]
+
+
+def test_cost_model_sw_encode_penalty():
+    cost = RtcCostModel()
+    fmt = RTC_LADDER[1]
+    assert cost.direction_ops(fmt, True) > cost.direction_ops(fmt, False)
+
+
+def test_frames_counted():
+    result = call(pinned_mhz=1512, duration=5.0)
+    assert result.frames_sent == pytest.approx(150, abs=10)

@@ -1,0 +1,80 @@
+"""Tests for the §6 future-work extension studies."""
+
+import pytest
+
+from repro.core.studies import (
+    browsers_vs_clock,
+    joint_network_device_grid,
+    tls_overhead,
+)
+from repro.web.costmodel import BROWSER_PROFILES, browser_profile
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return joint_network_device_grid(bandwidths_mbps=(2.0, 48.5),
+                                     clocks_mhz=(384, 1512), n_pages=3)
+
+
+def test_grid_covers_all_cells(grid):
+    assert len(grid) == 4
+    cells = {(p.bandwidth_mbps, p.clock_mhz) for p in grid}
+    assert cells == {(2.0, 384), (2.0, 1512), (48.5, 384), (48.5, 1512)}
+
+
+def test_bottleneck_crossover(grid):
+    by_cell = {(p.bandwidth_mbps, p.clock_mhz): p for p in grid}
+    # Slow link + fast CPU: network-bound.
+    assert not by_cell[(2.0, 1512)].device_bound
+    # Fast link + slow CPU: device-bound (the paper's regime).
+    assert by_cell[(48.5, 384)].device_bound
+
+
+def test_clock_upgrade_pays_less_on_slow_links(grid):
+    by_cell = {(p.bandwidth_mbps, p.clock_mhz): p.plt.mean for p in grid}
+    gain_fast_link = by_cell[(48.5, 384)] / by_cell[(48.5, 1512)]
+    gain_slow_link = by_cell[(2.0, 384)] / by_cell[(2.0, 1512)]
+    assert gain_fast_link > gain_slow_link
+
+
+def test_plt_monotone_in_both_axes(grid):
+    by_cell = {(p.bandwidth_mbps, p.clock_mhz): p.plt.mean for p in grid}
+    assert by_cell[(2.0, 384)] > by_cell[(48.5, 384)]
+    assert by_cell[(2.0, 384)] > by_cell[(2.0, 1512)]
+
+
+def test_tls_is_a_roughly_constant_tax():
+    points = tls_overhead(clocks_mhz=(384, 1512), n_pages=3)
+    for point in points:
+        assert point.plt_tls.mean > point.plt_plain.mean
+        assert 0.03 < point.tls_overhead_frac < 0.25
+    # Absolute TLS seconds are larger at the slow clock.
+    low, high = points[0], points[-1]
+    assert (low.plt_tls.mean - low.plt_plain.mean) > (
+        high.plt_tls.mean - high.plt_plain.mean
+    )
+
+
+def test_browsers_qualitatively_alike():
+    table = browsers_vs_clock(clocks_mhz=(384, 1512), n_pages=3)
+    slowdowns = {
+        name: cols[384].mean / cols[1512].mean
+        for name, cols in table.items()
+    }
+    # The paper: Firefox/Opera Mini behave qualitatively like Chrome.
+    assert max(slowdowns.values()) < 1.3 * min(slowdowns.values())
+    for cols in table.values():
+        assert cols[384].mean > 2 * cols[1512].mean
+
+
+def test_browser_profile_lookup():
+    assert browser_profile("chrome63") is BROWSER_PROFILES["chrome63"]
+    with pytest.raises(ValueError, match="unknown browser"):
+        browser_profile("netscape4")
+
+
+def test_operamini_lighter_on_compute():
+    mini = browser_profile("operamini")
+    chrome = browser_profile("chrome63")
+    assert mini.parse_ops_per_byte < chrome.parse_ops_per_byte
+    assert mini.issue_request_ops > chrome.issue_request_ops

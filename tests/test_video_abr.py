@@ -1,0 +1,63 @@
+"""Unit tests for device-aware format selection."""
+
+import pytest
+
+from repro.device import Device, NEXUS4, PIXEL2, by_name
+from repro.sim import Environment
+from repro.video import DeviceAwareAbr, FORMAT_LADDER, Format
+from repro.video.spec import VideoSpec
+
+
+def select_for(spec):
+    env = Environment()
+    return DeviceAwareAbr().select(Device(env, spec, governor="PF"))
+
+
+def test_ladder_sorted_by_bitrate():
+    rates = [f.bitrate_bps for f in FORMAT_LADDER]
+    assert rates == sorted(rates)
+
+
+def test_pixel2_gets_full_hd():
+    assert select_for(PIXEL2).name == "1080p"
+
+
+def test_intex_capped_by_display():
+    assert select_for(by_name("Intex Amaze+")).height <= 720
+
+
+def test_nexus4_capped_by_display():
+    assert select_for(NEXUS4).height <= 768
+
+
+def test_bandwidth_cap():
+    env = Environment()
+    device = Device(env, PIXEL2, governor="PF")
+    fmt = DeviceAwareAbr().select(device, bandwidth_bps=2e6)
+    assert fmt.bitrate_bps <= 0.8 * 2e6
+
+
+def test_codec_capability_respected():
+    env = Environment()
+    device = Device(env, by_name("Gionee F103"), governor="PF")
+    fmt = DeviceAwareAbr().select(device)
+    codec = device.accelerators.codec
+    assert codec.supports(fmt.width, fmt.height, fmt.fps)
+
+
+def test_empty_ladder_rejected():
+    with pytest.raises(ValueError):
+        DeviceAwareAbr(ladder=())
+
+
+def test_format_properties():
+    fmt = Format("1080p", 1920, 1080, 30.0, 4.8e6)
+    assert fmt.pixels_per_frame == 1920 * 1080
+    assert fmt.bytes_per_second == pytest.approx(600_000)
+
+
+def test_video_spec_segments():
+    assert VideoSpec(duration_s=300, segment_s=2).n_segments == 150
+    assert VideoSpec(duration_s=301, segment_s=2).n_segments == 151
+    with pytest.raises(ValueError):
+        VideoSpec(duration_s=0)

@@ -1,0 +1,107 @@
+"""Behaviour tests for the streaming player (Figs 2b, 4a–4d)."""
+
+import pytest
+
+from repro.device import Device, NEXUS4, PIXEL2, by_name
+from repro.netstack import Link
+from repro.sim import Environment
+from repro.video import PlayerConfig, StreamingPlayer, VideoSpec
+
+
+def play(spec=NEXUS4, duration=60.0, config=None, **device_kwargs):
+    env = Environment()
+    device = Device(env, spec, **device_kwargs)
+    player = StreamingPlayer(env, device, Link(env),
+                             VideoSpec(duration_s=duration),
+                             config or PlayerConfig())
+    return env.run(env.process(player.run()))
+
+
+def test_full_clip_plays(spec=NEXUS4):
+    result = play(duration=30.0, pinned_mhz=1512)
+    assert result.content_played_s == pytest.approx(30.0, abs=2.5)
+    assert result.bytes_downloaded > 0
+
+
+def test_startup_latency_grows_at_low_clock():
+    fast = play(pinned_mhz=1512)
+    slow = play(pinned_mhz=384)
+    assert 2.0 < slow.startup_latency_s / fast.startup_latency_s < 5.0
+
+
+def test_no_stalls_even_at_low_clock():
+    """The paper's central streaming result: stall ratio ≈ 0 at 384 MHz."""
+    result = play(pinned_mhz=384, duration=60.0)
+    assert result.stall_ratio < 0.03
+
+
+def test_single_core_stalls():
+    """Fig 4c: ~15 % stall ratio and much higher start-up on one core."""
+    one = play(governor="OD", online_cores=1, duration=60.0)
+    four = play(governor="OD", online_cores=4, duration=60.0)
+    assert 0.08 < one.stall_ratio < 0.30
+    assert four.stall_ratio < 0.02
+    assert one.startup_latency_s > four.startup_latency_s + 2.0
+
+
+def test_two_cores_suffice():
+    two = play(governor="OD", online_cores=2, duration=60.0)
+    assert two.stall_ratio < 0.02
+
+
+def test_low_memory_raises_startup_not_stalls():
+    tight = play(governor="OD", memory_gb=0.5, duration=60.0)
+    full = play(governor="OD", memory_gb=2.0, duration=60.0)
+    assert tight.startup_latency_s > 1.5 * full.startup_latency_s
+    assert tight.stall_ratio < 0.02
+
+
+def test_powersave_governor_raises_startup():
+    pw = play(governor="PW")
+    pf = play(governor="PF")
+    assert pw.startup_latency_s > 1.3 * pf.startup_latency_s
+    assert pw.stall_ratio < 0.02
+
+
+def test_device_specific_format():
+    """YouTube serves 1080p to the Pixel2 but not to the Intex."""
+    intex = play(spec=by_name("Intex Amaze+"), governor="OD", duration=30.0)
+    pixel = play(spec=PIXEL2, governor="OD", duration=30.0)
+    assert intex.format.height <= 720
+    assert pixel.format.height == 1080
+
+
+def test_prefetch_reaches_read_ahead():
+    """§3.2: the 120 s read-ahead fills within ~40 s of start-up."""
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=1512)
+    player = StreamingPlayer(env, device, Link(env),
+                             VideoSpec(duration_s=240.0),
+                             PlayerConfig(read_ahead_s=120.0))
+    result = env.run(env.process(player.run()))
+    assert result.buffer_full_at_s is not None
+    assert result.buffer_full_at_s < 60.0
+
+
+def test_shorter_read_ahead_still_no_stall_on_lan():
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=1512)
+    player = StreamingPlayer(env, device, Link(env),
+                             VideoSpec(duration_s=60.0),
+                             PlayerConfig(read_ahead_s=10.0))
+    result = env.run(env.process(player.run()))
+    assert result.stall_ratio < 0.02
+
+
+def test_stall_ratio_bounds():
+    result = play(pinned_mhz=1512, duration=30.0)
+    assert 0.0 <= result.stall_ratio <= 1.0
+
+
+def test_startup_across_devices_monotone_with_capability():
+    order = ["Intex Amaze+", "Gionee F103", "Google Nexus4", "Google Pixel2"]
+    startups = [
+        play(spec=by_name(name), governor="OD", duration=20.0).startup_latency_s
+        for name in order
+    ]
+    assert startups == sorted(startups, reverse=True)

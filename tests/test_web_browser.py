@@ -1,0 +1,155 @@
+"""Unit/behaviour tests for the browser engine."""
+
+import pytest
+
+from repro.device import Device, NEXUS4, PIXEL2
+from repro.netstack import Link
+from repro.sim import Environment
+from repro.web import BrowserEngine, BrowserCostModel
+from repro.workloads import generate_page
+
+
+def load(page, spec=NEXUS4, **device_kwargs):
+    env = Environment()
+    device = Device(env, spec, **device_kwargs)
+    browser = BrowserEngine(env, device, Link(env))
+    return env.run(env.process(browser.load(page)))
+
+
+@pytest.fixture(scope="module")
+def news_page(regex_factory):
+    return generate_page(11, "news", regex_factory)
+
+
+@pytest.fixture(scope="module")
+def business_page(regex_factory):
+    return generate_page(12, "business", regex_factory)
+
+
+def test_load_produces_complete_result(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    assert result.plt > 0
+    assert result.n_requests == len(news_page.objects)
+    assert result.bytes_fetched == pytest.approx(news_page.total_bytes)
+    assert result.main_busy_time > 0
+    assert result.compute_time > 0
+    assert result.network_time >= 0
+    assert result.plt >= result.compute_time
+
+
+def test_plt_scales_with_clock(news_page):
+    fast = load(news_page, pinned_mhz=1512).plt
+    slow = load(news_page, pinned_mhz=384).plt
+    assert 2.5 < slow / fast < 5.0
+
+
+def test_cores_beyond_two_barely_help(news_page):
+    """The paper: browsers use no more than two cores."""
+    four = load(news_page, pinned_mhz=1512, online_cores=4).plt
+    two = load(news_page, pinned_mhz=1512, online_cores=2).plt
+    one = load(news_page, pinned_mhz=1512, online_cores=1).plt
+    assert two < 1.25 * four
+    assert one > 1.1 * four
+
+
+def test_fast_device_loads_faster(news_page):
+    nexus = load(news_page, spec=NEXUS4, governor="OD").plt
+    pixel = load(news_page, spec=PIXEL2, governor="OD").plt
+    assert pixel < nexus
+
+
+def test_low_memory_slows_load(news_page):
+    full = load(news_page, governor="OD", memory_gb=2.0).plt
+    tight = load(news_page, governor="OD", memory_gb=0.5).plt
+    assert 1.4 < tight / full < 3.0
+
+
+def test_script_time_dominated_by_category(news_page, business_page):
+    news = load(news_page, pinned_mhz=1512)
+    business = load(business_page, pinned_mhz=1512)
+    assert news.script_time > business.script_time
+
+
+def test_activities_form_a_dag(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    ids = {a.id for a in result.activities}
+    assert len(ids) == len(result.activities)
+    for activity in result.activities:
+        assert activity.end >= activity.start
+        for dep in activity.deps:
+            assert dep in ids
+            assert dep != activity.id
+
+
+def test_deps_precede_dependents(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    by_id = {a.id: a for a in result.activities}
+    for activity in result.activities:
+        for dep in activity.deps:
+            assert by_id[dep].start <= activity.start + 1e-9
+
+
+def test_blocking_scripts_execute_in_document_order(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    script_urls = [a.label for a in result.activities if a.kind == "script"]
+    sync_urls = [u for u in script_urls if u.startswith("sync")]
+    roots = [u for u in sync_urls if "_inj" not in u]
+    page_order = [
+        o.script.url for o in sorted(
+            (o for o in news_page.objects
+             if o.blocking and o.parent == 0 and o.script is not None),
+            key=lambda o: o.discovery_frac,
+        )
+    ]
+    assert roots == page_order
+
+
+def test_paint_happens_after_style_and_layout(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    by_kind = {}
+    for activity in result.activities:
+        if activity.kind in ("style", "layout", "paint"):
+            by_kind[activity.kind] = activity
+    assert by_kind["style"].end <= by_kind["layout"].start + 1e-9
+    assert by_kind["layout"].end <= by_kind["paint"].start + 1e-9
+
+
+def test_every_image_decoded(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    decodes = [a for a in result.activities if a.kind == "decode"]
+    images = [o for o in news_page.objects if o.kind == "img"]
+    assert len(decodes) == len(images)
+
+
+def test_lazy_images_fetch_after_paint(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    paint = next(a for a in result.activities if a.kind == "paint")
+    lazy_urls = {o.url for o in news_page.objects if o.lazy}
+    if not lazy_urls:
+        pytest.skip("page has no lazy images")
+    lazy_fetches = [a for a in result.activities
+                    if a.kind == "fetch" and a.label in lazy_urls]
+    assert lazy_fetches
+    for fetch in lazy_fetches:
+        assert fetch.start >= paint.end - 1e-9
+
+
+def test_determinism(news_page):
+    first = load(news_page, pinned_mhz=810)
+    second = load(news_page, pinned_mhz=810)
+    assert first.plt == second.plt
+    assert first.compute_time == second.compute_time
+
+
+def test_regex_fn_intervals_recorded(news_page):
+    result = load(news_page, pinned_mhz=1512)
+    assert result.regex_fn_intervals
+    total = sum(end - start for start, end in result.regex_fn_intervals)
+    assert total == pytest.approx(result.script_regex_fn_time, rel=1e-6)
+
+
+def test_cost_model_validation():
+    cost = BrowserCostModel()
+    ops, stall = cost.parse_work(100_000)
+    assert ops == 100_000 * cost.parse_ops_per_byte
+    assert stall > 0

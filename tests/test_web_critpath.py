@@ -1,0 +1,80 @@
+"""Unit tests for critical-path extraction."""
+
+import pytest
+
+from repro.analysis import extract_critical_path
+from repro.device import Device, NEXUS4
+from repro.netstack import Link
+from repro.sim import Environment
+from repro.web import BrowserEngine
+from repro.web.metrics import ActivityRecord
+from repro.workloads import generate_page
+
+
+def act(id, kind, start, end, deps=()):
+    return ActivityRecord(id=id, kind=kind, label=str(id), start=start,
+                          end=end, deps=tuple(deps))
+
+
+def test_empty_activity_list():
+    path = extract_critical_path([], 0.0)
+    assert path.activities == []
+    assert path.total == 0.0
+
+
+def test_linear_chain():
+    activities = [
+        act(0, "fetch", 0.0, 1.0),
+        act(1, "parse", 1.0, 2.0, (0,)),
+        act(2, "script", 2.0, 5.0, (1,)),
+    ]
+    path = extract_critical_path(activities, 5.0)
+    assert [a.id for a in path.activities] == [0, 1, 2]
+    assert path.network_time == pytest.approx(1.0)
+    assert path.compute_time == pytest.approx(4.0)
+
+
+def test_picks_latest_finishing_dependency():
+    activities = [
+        act(0, "fetch", 0.0, 0.5),
+        act(1, "fetch", 0.0, 2.0),
+        act(2, "script", 2.0, 3.0, (0, 1)),
+    ]
+    path = extract_critical_path(activities, 3.0)
+    assert [a.id for a in path.activities] == [1, 2]
+
+
+def test_gap_attributed_as_queueing():
+    activities = [
+        act(0, "fetch", 0.0, 1.0),
+        act(1, "script", 1.5, 2.0, (0,)),  # waited 0.5 s for the main thread
+    ]
+    path = extract_critical_path(activities, 2.0)
+    assert path.kind_breakdown["script-queue"] == pytest.approx(0.5)
+    assert path.compute_time == pytest.approx(1.0)  # 0.5 run + 0.5 queue
+    assert path.network_time == pytest.approx(1.0)
+
+
+def test_lead_in_counted_as_network():
+    activities = [act(0, "fetch", 0.3, 1.0)]
+    path = extract_critical_path(activities, 1.0)
+    assert path.network_time == pytest.approx(1.0)
+
+
+def test_decomposition_covers_plt_for_real_load(regex_factory):
+    page = generate_page(21, "shopping", regex_factory)
+    env = Environment()
+    device = Device(env, NEXUS4, pinned_mhz=1512)
+    browser = BrowserEngine(env, device, Link(env))
+    result = env.run(env.process(browser.load(page)))
+    path = extract_critical_path(result.activities, result.plt)
+    assert path.total == pytest.approx(result.plt, rel=0.05)
+    assert path.compute_time + path.network_time == pytest.approx(
+        path.total, rel=1e-6
+    )
+
+
+def test_network_share_grows_with_lead_in():
+    fast = extract_critical_path([act(0, "fetch", 0.0, 1.0)], 1.0)
+    slow = extract_critical_path([act(0, "fetch", 2.0, 3.0)], 3.0)
+    assert slow.network_time > fast.network_time

@@ -1,0 +1,115 @@
+"""Tests for the regex corpus and the historical dataset."""
+
+import random
+
+import pytest
+
+from repro.regexlib import Regex
+from repro.workloads.history import (
+    all_years,
+    generate_device_population,
+    year_medians,
+)
+from repro.workloads.regexcorpus import (
+    PATTERN_LIBRARY,
+    RegexWorkloadFactory,
+    synth_text,
+    synth_url,
+    synth_url_list,
+)
+
+# -- regex corpus -----------------------------------------------------------
+
+
+def test_all_library_patterns_compile():
+    for name, pattern, mode in PATTERN_LIBRARY:
+        regex = Regex(pattern)
+        assert regex.pattern == pattern
+        assert mode in ("test", "search", "findall")
+
+
+def test_library_patterns_match_their_subjects():
+    """Each pattern finds something in the subject kind it targets."""
+    rng = random.Random(7)
+    url_list = synth_url_list(rng, 40)
+    assert Regex(r"(?:doubleclick|adservice|analytics|tracker|pixel)\.").test(url_list)
+    assert Regex(r"https?://([\w.-]+)(/[\w./%-]*)?").search(synth_url(rng))
+    text = synth_text(rng, 120)
+    assert Regex(r"\d{4}-\d{2}-\d{2}").search(text)
+    assert Regex(r"[\w.+-]+@[\w-]+\.[a-zA-Z]{2,6}").search(text)
+
+
+def test_synth_url_shape():
+    rng = random.Random(1)
+    for _ in range(20):
+        url = synth_url(rng)
+        assert url.startswith("https://")
+        assert "/" in url[8:]
+
+
+def test_factory_calls_are_measured():
+    factory = RegexWorkloadFactory()
+    rng = random.Random(3)
+    calls = factory.make_calls(rng, 6, list_heavy=True)
+    assert len(calls) == 6
+    for call in calls:
+        assert call.pike_ops > 0
+        assert call.repeats >= 1
+
+
+def test_factory_list_heavy_biases_repeats():
+    factory = RegexWorkloadFactory()
+    heavy = factory.make_calls(random.Random(5), 30, list_heavy=True)
+    light = factory.make_calls(random.Random(5), 30, list_heavy=False)
+    assert (sum(c.repeats for c in heavy) / len(heavy)
+            > sum(c.repeats for c in light) / len(light))
+
+
+def test_factory_deterministic_for_same_rng_seed():
+    factory = RegexWorkloadFactory()
+    a = factory.make_calls(random.Random(9), 5, True)
+    b = factory.make_calls(random.Random(9), 5, True)
+    assert [c.pattern for c in a] == [c.pattern for c in b]
+    assert [c.repeats for c in a] == [c.repeats for c in b]
+
+
+# -- history ------------------------------------------------------------------
+
+
+def test_eight_years():
+    years = all_years()
+    assert [y.year for y in years] == list(range(2011, 2019))
+
+
+def test_medians_grow_over_time():
+    years = all_years()
+    for attr in ("clock_ghz", "memory_gb", "os_version", "page_bytes_factor"):
+        series = [getattr(y, attr) for y in years]
+        assert series == sorted(series), attr
+
+
+def test_unknown_year_rejected():
+    with pytest.raises(ValueError):
+        year_medians(2025)
+
+
+def test_device_spec_buildable():
+    spec = year_medians(2013).device_spec()
+    assert spec.n_cores == 4
+    assert spec.max_clock_mhz == 1200
+
+
+def test_population_size_and_spread():
+    population = generate_device_population(per_year=60)
+    assert len(population) == 8 * 60
+    years = {d.year for d in population}
+    assert years == set(range(2011, 2019))
+
+
+def test_population_medians_recover_input():
+    population = generate_device_population(per_year=200)
+    for medians in all_years():
+        clocks = sorted(d.clock_ghz for d in population
+                        if d.year == medians.year)
+        observed = clocks[len(clocks) // 2]
+        assert observed == pytest.approx(medians.clock_ghz, abs=0.15)

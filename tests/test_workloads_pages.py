@@ -1,0 +1,115 @@
+"""Unit tests for the page corpus generator."""
+
+import pytest
+
+from repro.jsruntime import CpuCostModel
+from repro.workloads import generate_corpus, generate_page
+from repro.workloads.pages import CATEGORIES, SCRIPT_HEAVY
+
+
+def test_generation_is_deterministic(regex_factory):
+    first = generate_page(5, "news", regex_factory)
+    second = generate_page(5, "news", regex_factory)
+    assert first.total_bytes == second.total_bytes
+    assert len(first.objects) == len(second.objects)
+    assert [o.url for o in first.objects] == [o.url for o in second.objects]
+
+
+def test_different_seeds_differ(regex_factory):
+    a = generate_page(1, "news", regex_factory)
+    b = generate_page(2, "news", regex_factory)
+    assert a.total_bytes != b.total_bytes
+
+
+def test_unknown_category_rejected(regex_factory):
+    with pytest.raises(ValueError):
+        generate_page(1, "gaming", regex_factory)
+
+
+def test_root_is_html(small_corpus):
+    for page in small_corpus:
+        assert page.root.kind == "html"
+        assert page.root.parent is None
+
+
+def test_page_sizes_match_2018_medians(small_corpus):
+    for page in small_corpus:
+        assert 0.8e6 < page.total_bytes < 5e6
+        assert 30 < len(page.objects) < 150
+
+
+def test_dependency_graph_is_acyclic(small_corpus):
+    for page in small_corpus:
+        for obj in page.objects[1:]:
+            assert obj.parent is not None
+            assert obj.parent < obj.index  # parents generated first
+
+
+def test_script_heavy_categories_have_more_scripting(regex_factory):
+    cost = CpuCostModel()
+    news = generate_page(3, "news", regex_factory).scripting_ops(cost)
+    business = generate_page(3, "business", regex_factory).scripting_ops(cost)
+    assert news > 1.5 * business
+
+
+def test_news_sports_regex_share(regex_factory):
+    """§4.2: list-heavy categories spend a large share in regex work."""
+    cost = CpuCostModel()
+    for category in SCRIPT_HEAVY:
+        page = generate_page(7, category, regex_factory)
+        total = page.scripting_ops(cost)
+        regex = sum(cost.script_regex_ops(s) for s in page.scripts)
+        assert regex / total > 0.15
+    page = generate_page(7, "health", regex_factory)
+    total = page.scripting_ops(cost)
+    regex = sum(cost.script_regex_ops(s) for s in page.scripts)
+    assert regex / total < 0.10
+
+
+def test_blocking_scripts_exist(small_corpus):
+    for page in small_corpus:
+        blockers = [o for o in page.objects if o.blocking]
+        assert blockers
+        for blocker in blockers:
+            assert blocker.kind == "js"
+            assert blocker.script is not None
+
+
+def test_chained_blockers_are_scanner_invisible(small_corpus):
+    for page in small_corpus:
+        for obj in page.objects:
+            if obj.blocking and obj.parent != 0:
+                assert not obj.scanner_visible
+
+
+def test_corpus_cycles_categories(regex_factory):
+    corpus = generate_corpus(10, factory=regex_factory)
+    assert [p.category for p in corpus] == list(CATEGORIES) * 2
+
+
+def test_working_set_includes_browser_baseline(small_corpus):
+    for page in small_corpus:
+        assert page.working_set_gb > 0.28
+
+
+def test_scale_factors_shrink_pages(regex_factory):
+    full = generate_page(9, "news", regex_factory)
+    past = generate_page(9, "news", regex_factory,
+                         bytes_factor=0.2, ops_factor=0.1,
+                         chain_intensity=0.1)
+    cost = CpuCostModel()
+    assert past.total_bytes < 0.5 * full.total_bytes
+    assert past.scripting_ops(cost) < 0.3 * full.scripting_ops(cost)
+
+
+def test_bad_scale_factor_rejected(regex_factory):
+    with pytest.raises(ValueError):
+        generate_page(1, "news", regex_factory, bytes_factor=0)
+
+
+def test_lazy_images_below_fold_only(small_corpus):
+    for page in small_corpus:
+        for obj in page.objects:
+            if obj.lazy:
+                assert obj.kind == "img"
+                assert obj.discovery_frac > 0.7
