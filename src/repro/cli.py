@@ -7,14 +7,17 @@ Usage::
     python -m repro fig3a --pages 10     # bigger corpus
     python -m repro fig2a --csv out/     # also dump CSV data
     python -m repro joint                # §6 extension studies
+    python -m repro lint --format json   # simlint static analysis
 
-Every command prints the same rows the corresponding benchmark asserts
-on, at a configurable scale.
+Every figure command prints the same rows the corresponding benchmark
+asserts on, at a configurable scale.  ``lint`` runs the determinism /
+sim-invariant static-analysis pass (see :mod:`repro.lint`).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Optional
 
@@ -274,9 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # The lint subcommand owns its flags (--format/--select/...), so it
+        # is dispatched before the figure parser sees them.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
-        for name in sorted(_COMMANDS):
+        for name in sorted([*_COMMANDS, "lint"]):
             print(name)
         return 0
     _COMMANDS[args.figure](args)

@@ -18,6 +18,16 @@ from repro.device import Device
 from repro.sim import Environment
 
 
+def make_rng(seed: int) -> random.Random:
+    """The single audited construction point for study RNGs.
+
+    Every study routes its per-trial randomness through here so seed
+    plumbing stays greppable and lintable (simlint DET005 flags inline
+    ``random.Random(...)`` construction inside ``core/studies/``).
+    """
+    return random.Random(seed)
+
+
 class BackgroundLoad:
     """Periodic CPU bursts from OS services."""
 
@@ -47,4 +57,4 @@ class BackgroundLoad:
             self.bursts += 1
 
 
-__all__ = ["BackgroundLoad"]
+__all__ = ["BackgroundLoad", "make_rng"]

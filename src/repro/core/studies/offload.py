@@ -17,12 +17,11 @@ post-processing WProf logs — the arithmetic is the same).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
-from repro.core.background import BackgroundLoad
+from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, PIXEL2
 from repro.dsp import DspScriptExecutor, FastRpcChannel
@@ -112,7 +111,7 @@ class OffloadStudy:
         device = Device(env, self.config.device, governor="OD",
                         pinned_mhz=pinned_mhz)
         if self.config.background_jitter:
-            BackgroundLoad(env, device, random.Random(seed))
+            BackgroundLoad(env, device, make_rng(seed))
         link = Link(env, self.config.link)
         channel: Optional[FastRpcChannel] = None
         if offload:

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
-from repro.core.background import BackgroundLoad
+from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
@@ -46,7 +45,7 @@ class RtcStudy:
         env = Environment()
         device = Device(env, spec, **device_kwargs)
         if self.config.background_jitter:
-            BackgroundLoad(env, device, random.Random(seed))
+            BackgroundLoad(env, device, make_rng(seed))
         call = VideoCall(env, device, Link(env, self.config.link),
                          self.config.call)
         return env.run(env.process(call.run()))

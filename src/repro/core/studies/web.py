@@ -9,12 +9,11 @@ background jitter and reporting mean ± std.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
-from repro.core.background import BackgroundLoad
+from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
@@ -71,7 +70,7 @@ class WebStudy:
         env = Environment()
         device = Device(env, spec, **device_kwargs)
         if self.config.background_jitter:
-            BackgroundLoad(env, device, random.Random(seed))
+            BackgroundLoad(env, device, make_rng(seed))
         browser = BrowserEngine(env, device, Link(env, self.config.link))
         return env.run(env.process(browser.load(page)))
 

@@ -199,7 +199,7 @@ class InteractiveGovernor(Governor):
         self.go_hispeed_load = go_hispeed_load
         self.target_load = target_load
         self.min_sample_time = min_sample_time
-        self._floor_until: dict[int, float] = {}
+        self._floor_until: dict[Cluster, float] = {}
 
     def apply_initial(self, cluster: Cluster) -> None:
         cluster.set_freq_index(0)
@@ -214,7 +214,9 @@ class InteractiveGovernor(Governor):
         return len(cluster.spec.freqs_mhz) - 1
 
     def on_sample(self, cluster: Cluster, utilization: float) -> None:
-        key = id(cluster)
+        # Keyed by the cluster object itself: a pure identity lookup, with
+        # no run-dependent id() value that could leak into an ordering.
+        key = cluster
         top = len(cluster.spec.freqs_mhz) - 1
         if utilization >= self.go_hispeed_load:
             target = max(self._hispeed_index(cluster), cluster.freq_index)

@@ -1,0 +1,175 @@
+"""Lint driver: file discovery, rule execution, suppression, filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    is_suppressed,
+    parse_suppressions,
+)
+from repro.lint.rules import ALL_RULES, FileContext, Rule
+
+#: Rule id used for files the engine itself cannot parse.
+PARSE_ERROR_RULE = "E000"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def count_at_least(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity >= severity)
+
+    def by_severity(self) -> Dict[str, int]:
+        counts = {str(s): 0 for s in Severity}
+        for finding in self.findings:
+            counts[str(finding.severity)] += 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "summary": {
+                "files": self.files_checked,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "by_severity": self.by_severity(),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    seen = set()
+    unique = []
+    for path in out:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Rule]:
+    """Resolve ``--select``/``--ignore`` ids against the registry.
+
+    Raises :class:`ValueError` for ids that match no registered rule, so
+    the CLI can map typos to a usage error (exit code 2).
+    """
+    known = {rule.id for rule in rules}
+    chosen = list(rules)
+    if select is not None:
+        wanted = {rule_id.strip().upper() for rule_id in select if rule_id.strip()}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        chosen = [rule for rule in chosen if rule.id in wanted]
+    if ignore is not None:
+        dropped = {rule_id.strip().upper() for rule_id in ignore if rule_id.strip()}
+        unknown = sorted(dropped - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        chosen = [rule for rule in chosen if rule.id not in dropped]
+    return chosen
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint a single file; report findings with paths relative to root."""
+    report = LintReport(files_checked=1)
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.relative_to(root))
+        except ValueError:
+            pass
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        report.findings.append(Finding(
+            path=display, line=1, col=0, rule=PARSE_ERROR_RULE,
+            severity=Severity.ERROR, message=f"cannot read file: {error}",
+        ))
+        return report
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        report.findings.append(Finding(
+            path=display, line=error.lineno or 1, col=error.offset or 0,
+            rule=PARSE_ERROR_RULE, severity=Severity.ERROR,
+            message=f"syntax error: {error.msg}",
+        ))
+        return report
+
+    context = FileContext(path=display, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            if is_suppressed(finding, suppressions):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def run_lint(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    min_severity: Severity = Severity.INFO,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with the chosen rules."""
+    rules = select_rules(select, ignore)
+    report = LintReport()
+    for path in discover_files([Path(p) for p in paths]):
+        file_report = lint_file(path, rules, root=root)
+        report.files_checked += file_report.files_checked
+        report.suppressed += file_report.suppressed
+        report.findings.extend(
+            f for f in file_report.findings if f.severity >= min_severity
+        )
+    report.findings.sort()
+    return report
+
+
+__all__ = [
+    "LintReport",
+    "PARSE_ERROR_RULE",
+    "discover_files",
+    "lint_file",
+    "run_lint",
+    "select_rules",
+]

@@ -1,0 +1,111 @@
+"""Finding/severity model and per-line suppression parsing."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+
+class Severity(enum.IntEnum):
+    """Ranked severity: comparisons follow the integer order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; choose from "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so reports are stable across runs
+    regardless of rule execution order — the linter holds itself to the
+    determinism bar it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+#: ``# simlint: disable=DET001,SIM102`` or a blanket ``# simlint: disable``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel rule set meaning "every rule is suppressed on this line".
+SUPPRESS_ALL = frozenset({"*"})
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line.
+
+    A bare ``disable`` (no ``=RULES``) suppresses every rule on the line
+    and is recorded as :data:`SUPPRESS_ALL`.
+    """
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = set(SUPPRESS_ALL)
+        else:
+            table[lineno] = {
+                token.strip().upper()
+                for token in rules.split(",")
+                if token.strip()
+            }
+    return table
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]],
+    logical_line: Optional[int] = None,
+) -> bool:
+    """True if ``finding`` is disabled by a comment on its (logical) line."""
+    for lineno in (finding.line, logical_line):
+        if lineno is None:
+            continue
+        rules = suppressions.get(lineno)
+        if rules and ("*" in rules or finding.rule.upper() in rules):
+            return True
+    return False
+
+
+__all__ = [
+    "Finding",
+    "SUPPRESS_ALL",
+    "Severity",
+    "is_suppressed",
+    "parse_suppressions",
+]

@@ -1,0 +1,116 @@
+"""Table-1 catalog schema rule (CAT3xx).
+
+``repro.device.catalog`` is data masquerading as code: each
+``DeviceSpec(...)`` literal is one row of the paper's Table 1, and every
+figure is keyed off those rows. A missing field or an implausible value
+(3000 GB of RAM, a $2 flagship) corrupts every downstream sweep, so the
+schema is enforced statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule, call_name
+
+#: DeviceSpec fields in positional order (mirrors the dataclass).
+_FIELD_ORDER = (
+    "name", "soc", "clusters", "memory_gb", "os_version",
+    "gpu", "release", "cost_usd",
+)
+
+#: Every Table 1 row must carry these.
+_REQUIRED = frozenset(_FIELD_ORDER)
+
+#: Sanity ranges for literal numeric fields (inclusive).
+_RANGES = {
+    "memory_gb": (0.25, 32.0),
+    "cost_usd": (10.0, 5000.0),
+    "display_height": (240.0, 4320.0),
+}
+
+
+def _literal_number(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return -float(node.operand.value)
+    return None
+
+
+class CatalogSchemaRule(Rule):
+    """CAT301: DeviceSpec rows carry all Table 1 fields with sane values."""
+
+    id = "CAT301"
+    severity = Severity.ERROR
+    title = "incomplete or implausible device catalog entry"
+    rationale = (
+        "Fig 2-7 benchmarks index devices by these spec fields; a row "
+        "missing os_version or carrying an out-of-range memory_gb shifts "
+        "every cross-device comparison without any runtime error."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name.split(".")[-1] != "DeviceSpec":
+                continue
+            yield from self._check_entry(context, node)
+
+    def _check_entry(
+        self, context: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        provided: Dict[str, ast.AST] = {}
+        has_star_kwargs = False
+        for index, arg in enumerate(node.args):
+            if index < len(_FIELD_ORDER):
+                provided[_FIELD_ORDER[index]] = arg
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                has_star_kwargs = True
+            else:
+                provided[keyword.arg] = keyword.value
+
+        if not has_star_kwargs:
+            missing = sorted(_REQUIRED - provided.keys())
+            if missing:
+                yield self.finding(
+                    context, node,
+                    f"DeviceSpec entry missing required Table 1 field(s): "
+                    f"{', '.join(missing)}",
+                )
+
+        for field, (low, high) in sorted(_RANGES.items()):
+            value_node = provided.get(field)
+            if value_node is None:
+                continue
+            value = _literal_number(value_node)
+            if value is not None and not low <= value <= high:
+                yield self.finding(
+                    context, value_node,
+                    f"DeviceSpec.{field}={value:g} outside plausible range "
+                    f"[{low:g}, {high:g}]",
+                )
+
+        name_node = provided.get("name")
+        if isinstance(name_node, ast.Constant) and not (
+            isinstance(name_node.value, str) and name_node.value.strip()
+        ):
+            yield self.finding(
+                context, name_node,
+                "DeviceSpec.name must be a non-empty string",
+            )
+
+
+__all__ = ["CatalogSchemaRule"]

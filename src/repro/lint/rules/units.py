@@ -1,0 +1,105 @@
+"""Units-hygiene rule (UNIT2xx).
+
+The codebase carries units in identifier suffixes (``plt_s``, ``rtt_ms``,
+``clock_mhz``). Adding or comparing two different units of the same
+dimension without an explicit conversion is almost always a silent
+factor-of-1000 bug — exactly the "imperfection" class Hoque et al. found
+in real measurement pipelines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule
+
+#: unit token -> dimension family. Tokens are the final ``_``-separated
+#: component of an identifier (``plt_s`` -> ``s``).
+_UNIT_FAMILIES = {
+    "ns": "time", "us": "time", "ms": "time", "s": "time",
+    "hz": "frequency", "khz": "frequency", "mhz": "frequency",
+    "ghz": "frequency",
+    "kb": "data", "mb": "data", "gb": "data",
+    "bps": "rate", "kbps": "rate", "mbps": "rate", "gbps": "rate",
+    "mw": "power", "w": "power",
+    "mj": "energy", "j": "energy",
+}
+
+
+def _unit_of_name(name: str) -> Optional[str]:
+    if "_" not in name:
+        return None
+    token = name.rsplit("_", 1)[1].lower()
+    return token if token in _UNIT_FAMILIES else None
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    """Unit suffix carried by an expression, if statically visible.
+
+    Multiplication/division are treated as conversions and yield no unit;
+    a +/- chain propagates its operands' unit when they agree.
+    """
+    if isinstance(node, ast.Name):
+        return _unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return _unit_of_name(node.attr)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        left, right = _unit_of(node.left), _unit_of(node.right)
+        if left is not None and left == right:
+            return left
+    return None
+
+
+def _conflict(
+    left: ast.AST, right: ast.AST
+) -> Optional[Tuple[str, str]]:
+    lu, ru = _unit_of(left), _unit_of(right)
+    if (
+        lu is not None
+        and ru is not None
+        and lu != ru
+        and _UNIT_FAMILIES[lu] == _UNIT_FAMILIES[ru]
+    ):
+        return lu, ru
+    return None
+
+
+class MixedUnitArithmeticRule(Rule):
+    """UNIT201: +/-/comparison across different units of one dimension."""
+
+    id = "UNIT201"
+    severity = Severity.WARNING
+    title = "arithmetic mixes unit suffixes without conversion"
+    rationale = (
+        "rtt_ms + timeout_s compiles and runs, and the result is wrong by "
+        "1000x; the linter demands an explicit conversion (multiplication "
+        "or division) between unit families before +, - or comparison."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left, right in pairs:
+                conflict = _conflict(left, right)
+                if conflict:
+                    yield self.finding(
+                        context, node,
+                        f"mixing _{conflict[0]} and _{conflict[1]} "
+                        f"({_UNIT_FAMILIES[conflict[0]]}) without an "
+                        f"explicit conversion",
+                    )
+
+
+__all__ = ["MixedUnitArithmeticRule"]

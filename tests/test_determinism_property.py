@@ -1,0 +1,70 @@
+"""Property-based determinism checks: same seed => bit-identical metrics.
+
+This is the runtime counterpart of simlint's static rules — the invariant
+that makes every figure benchmark meaningful. A small web page load and a
+short RTC call are each run twice with the same seed (bit-identical metric
+dicts required) and with different seeds (background jitter must actually
+differ somewhere in the metrics — bursts that miss the critical path still
+show up in integrated energy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.studies import (
+    RtcStudy,
+    RtcStudyConfig,
+    WebStudy,
+    WebStudyConfig,
+)
+from repro.device import NEXUS4
+from repro.rtc import CallConfig
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+# Shared across examples: corpus generation is the expensive part, and each
+# load_page/call_once builds a fresh Environment, so reuse is sound.
+_WEB = WebStudy(WebStudyConfig(n_pages=1, trials=1))
+_RTC = RtcStudy(RtcStudyConfig(call=CallConfig(call_duration_s=5.0),
+                               trials=1))
+
+
+def web_metrics(seed: int) -> dict:
+    result = _WEB.load_page(NEXUS4, _WEB.corpus[0], seed, governor="OD")
+    metrics = dataclasses.asdict(result)
+    metrics.pop("activities")  # event records, not scalar metrics
+    return metrics
+
+
+def rtc_metrics(seed: int) -> dict:
+    result = _RTC.call_once(NEXUS4, seed, governor="OD")
+    return dataclasses.asdict(result)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=SEEDS)
+def test_web_same_seed_bit_identical(seed):
+    assert web_metrics(seed) == web_metrics(seed)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=SEEDS)
+def test_rtc_same_seed_bit_identical(seed):
+    assert rtc_metrics(seed) == rtc_metrics(seed)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seeds=st.lists(SEEDS, min_size=2, max_size=2, unique=True))
+def test_web_different_seeds_diverge(seeds):
+    first, second = (web_metrics(seed) for seed in seeds)
+    assert first != second
+
+
+@settings(max_examples=5, deadline=None)
+@given(seeds=st.lists(SEEDS, min_size=2, max_size=2, unique=True))
+def test_rtc_different_seeds_diverge(seeds):
+    first, second = (rtc_metrics(seed) for seed in seeds)
+    assert first != second

@@ -1,0 +1,367 @@
+"""simlint: per-rule fixtures, suppression, reporters, and CLI contract."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, Severity, run_lint, rules_by_id
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import PARSE_ERROR_RULE, select_rules
+from repro.lint.reporters import render_json, render_text
+
+
+def lint_source(tmp_path: Path, source: str, *, select=None,
+                name: str = "snippet.py"):
+    """Write ``source`` to a temp module and lint it."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint([target], select=select)
+
+
+def rule_ids(report):
+    return sorted({finding.rule for finding in report.findings})
+
+
+# -- rule fixtures: one flagged and one clean snippet per rule id ----------
+
+FLAGGED = {
+    "DET001": """
+        import time
+
+        def now_s():
+            return time.time()
+        """,
+    "DET002": """
+        import random
+
+        def jitter():
+            return random.random()
+        """,
+    "DET003": """
+        def total(values):
+            acc = 0.0
+            for v in set(values):
+                acc += v
+            return acc
+        """,
+    "DET004": """
+        def stable_order(items):
+            return sorted(items, key=lambda item: id(item))
+        """,
+    "SIM101": """
+        def proc(env):
+            yield 5
+            yield env.timeout(1)
+        """,
+    "SIM102": """
+        import time
+
+        def proc(env):
+            time.sleep(0.1)
+            yield env.timeout(1)
+        """,
+    "SIM103": """
+        def rewind(env):
+            env.now = 0.0
+        """,
+    "UNIT201": """
+        def budget(rtt_ms, timeout_s):
+            return rtt_ms + timeout_s
+        """,
+    "CAT301": """
+        from repro.device.catalog import DeviceSpec
+
+        ROW = DeviceSpec(
+            name="Phone",
+            soc="SoC",
+            clusters=(),
+            memory_gb=500.0,
+            os_version="6.0",
+            gpu="Mali",
+            cost_usd=700,
+        )
+        """,
+}
+
+CLEAN = {
+    "DET001": """
+        def now_s(env):
+            return env.now
+        """,
+    "DET002": """
+        import random
+
+        def jitter(seed):
+            return random.Random(seed).random()
+        """,
+    "DET003": """
+        def total(values):
+            return sum(sorted(set(values)))
+        """,
+    "DET004": """
+        def stable_order(items):
+            return sorted(items, key=lambda item: item.name)
+        """,
+    "SIM101": """
+        def proc(env):
+            yield env.timeout(1)
+            result = yield env.process(sub(env))
+            return result
+        """,
+    "SIM102": """
+        def proc(env):
+            yield env.timeout(0.1)
+        """,
+    "SIM103": """
+        def finish(env, event):
+            event.succeed(env.now)
+        """,
+    "UNIT201": """
+        def budget(rtt_ms, timeout_s):
+            return rtt_ms / 1000.0 + timeout_s
+        """,
+    "CAT301": """
+        from repro.device.catalog import DeviceSpec
+
+        ROW = DeviceSpec(
+            name="Phone",
+            soc="SoC",
+            clusters=(),
+            memory_gb=2.0,
+            os_version="6.0",
+            gpu="Mali",
+            release="Jan 2017",
+            cost_usd=700,
+        )
+        """,
+}
+
+# DET005 is path-scoped to core/studies/; exercised separately below.
+_PATH_SCOPED = {"DET005"}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FLAGGED))
+def test_rule_flags_violation(tmp_path, rule_id):
+    report = lint_source(tmp_path, FLAGGED[rule_id], select=[rule_id])
+    assert rule_ids(report) == [rule_id]
+
+
+@pytest.mark.parametrize("rule_id", sorted(CLEAN))
+def test_rule_accepts_clean_code(tmp_path, rule_id):
+    report = lint_source(tmp_path, CLEAN[rule_id], select=[rule_id])
+    assert report.findings == []
+
+
+def test_det005_flags_inline_rng_only_in_studies(tmp_path):
+    source = """
+        import random
+
+        def trial(seed):
+            return random.Random(seed)
+        """
+    flagged = lint_source(tmp_path, source, select=["DET005"],
+                          name="core/studies/fake.py")
+    assert rule_ids(flagged) == ["DET005"]
+    elsewhere = lint_source(tmp_path, source, select=["DET005"],
+                            name="workloads/fake.py")
+    assert elsewhere.findings == []
+
+
+def test_sim103_exempts_the_kernel_package(tmp_path):
+    source = """
+        def schedule(self, event):
+            event._scheduled = True
+        """
+    flagged = lint_source(tmp_path, source, select=["SIM103"],
+                          name="app/code.py")
+    assert rule_ids(flagged) == ["SIM103"]
+    kernel = lint_source(tmp_path, source, select=["SIM103"],
+                         name="repro/sim/core.py")
+    assert kernel.findings == []
+
+
+def test_sim_rules_ignore_plain_generators(tmp_path):
+    # A generator that never touches an env is not a sim process.
+    report = lint_source(tmp_path, """
+        def chunks(values):
+            for value in values:
+                yield value * 2
+        """)
+    assert report.findings == []
+
+
+def test_every_registered_rule_has_a_fixture():
+    covered = set(FLAGGED) | _PATH_SCOPED
+    assert {rule.id for rule in ALL_RULES} == covered
+    # Registry metadata is complete: id, severity, title, rationale.
+    for rule in ALL_RULES:
+        assert rule.id and rule.title and rule.rationale
+        assert isinstance(rule.severity, Severity)
+
+
+def test_suppression_comment_and_count(tmp_path):
+    report = lint_source(tmp_path, """
+        import time
+
+        def profile():
+            return time.time()  # simlint: disable=DET001 -- host-side only
+        """)
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_blanket_suppression(tmp_path):
+    report = lint_source(tmp_path, """
+        import time, random
+
+        def noisy():
+            return time.time() + random.random()  # simlint: disable
+        """)
+    assert report.findings == []
+    assert report.suppressed == 2
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    report = lint_source(tmp_path, """
+        import time
+
+        def profile():
+            return time.time()  # simlint: disable=DET002
+        """)
+    assert rule_ids(report) == ["DET001"]
+
+
+def test_syntax_error_reported_as_finding(tmp_path):
+    report = lint_source(tmp_path, "def broken(:\n")
+    assert rule_ids(report) == [PARSE_ERROR_RULE]
+    assert report.findings[0].severity is Severity.ERROR
+
+
+def test_findings_sorted_and_stable(tmp_path):
+    report = lint_source(tmp_path, FLAGGED["DET001"] + FLAGGED["UNIT201"])
+    assert report.findings == sorted(report.findings)
+
+
+def test_select_rejects_unknown_rule():
+    with pytest.raises(ValueError, match="unknown rule"):
+        select_rules(select=["NOPE999"])
+
+
+# -- reporters -------------------------------------------------------------
+
+def test_json_report_shape(tmp_path):
+    report = lint_source(tmp_path, FLAGGED["DET001"])
+    payload = json.loads(render_json(report))
+    assert payload["version"] == 1
+    assert set(payload) == {"version", "summary", "findings"}
+    assert set(payload["summary"]) == {
+        "files", "findings", "suppressed", "by_severity",
+    }
+    assert set(payload["summary"]["by_severity"]) == {
+        "error", "warning", "info",
+    }
+    (finding,) = payload["findings"]
+    assert set(finding) == {
+        "rule", "severity", "path", "line", "col", "message",
+    }
+    assert finding["rule"] == "DET001"
+    assert finding["severity"] == "error"
+    assert finding["line"] >= 1
+
+
+def test_text_report_mentions_rule_and_location(tmp_path):
+    report = lint_source(tmp_path, FLAGGED["DET001"])
+    text = render_text(report)
+    assert "DET001" in text
+    assert "snippet.py" in text
+    assert "1 finding(s)" in text
+
+
+# -- CLI contract: 0 clean, 1 findings, 2 usage error ----------------------
+
+def write(tmp_path, name, source):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+def test_cli_exit_zero_on_clean_file(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN["DET001"])
+    assert lint_main([str(target)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", FLAGGED["DET001"])
+    assert lint_main([str(target)]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_cli_exit_two_on_unknown_rule(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN["DET001"])
+    assert lint_main([str(target), "--select", "BOGUS"]) == 2
+
+
+def test_cli_exit_two_on_missing_path(capsys):
+    assert lint_main(["/no/such/path.py"]) == 2
+
+
+def test_cli_exit_two_on_bad_flag(tmp_path, capsys):
+    target = write(tmp_path, "clean.py", CLEAN["DET001"])
+    assert lint_main([str(target), "--format", "yaml"]) == 2
+
+
+def test_cli_json_format(tmp_path, capsys):
+    target = write(tmp_path, "bad.py", FLAGGED["DET002"])
+    assert lint_main([str(target), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["findings"] == 1
+    assert payload["findings"][0]["rule"] == "DET002"
+
+
+def test_cli_select_filters_rules(tmp_path, capsys):
+    target = write(tmp_path, "bad.py",
+                   FLAGGED["DET001"] + FLAGGED["UNIT201"])
+    assert lint_main([str(target), "--select", "UNIT201"]) == 1
+    out = capsys.readouterr().out
+    assert "UNIT201" in out and "DET001" not in out
+
+
+def test_cli_fail_on_error_ignores_warnings(tmp_path, capsys):
+    target = write(tmp_path, "warn.py", FLAGGED["UNIT201"])
+    assert lint_main([str(target), "--fail-on", "error"]) == 0
+    assert lint_main([str(target)]) == 1  # default --fail-on warning
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.id in out
+
+
+def test_repro_package_is_lint_clean():
+    """The acceptance bar: the shipped package has zero findings."""
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    report = run_lint([package_root])
+    assert report.findings == [], render_text(report)
+
+
+def test_dispatch_through_main_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    target = write(tmp_path, "bad.py", FLAGGED["DET001"])
+    assert main(["lint", str(target)]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_rules_by_id_round_trip():
+    table = rules_by_id()
+    assert set(table) == {rule.id for rule in ALL_RULES}
