@@ -52,24 +52,34 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class Summary:
-    """Mean/stdev/min/max of a sample (one figure bar with an error bar)."""
+    """Mean/stdev/min/max of a sample (one figure bar with an error bar).
+
+    ``failures`` counts trials that produced no value (crash, timeout,
+    deadlock) and are therefore *not* part of the ``n`` successful samples
+    — graceful degradation: a figure renders from what succeeded, but the
+    losses stay visible.
+    """
 
     mean: float
     stdev: float
     minimum: float
     maximum: float
     n: int
+    failures: int = 0
 
     def __str__(self) -> str:
-        return f"{self.mean:.3f} ± {self.stdev:.3f} (n={self.n})"
+        base = f"{self.mean:.3f} ± {self.stdev:.3f} (n={self.n})"
+        if self.failures:
+            base += f" [{self.failures} failed]"
+        return base
 
 
-def summarize(values: Sequence[float]) -> Summary:
+def summarize(values: Sequence[float], failures: int = 0) -> Summary:
     """Summarize a sample the way the paper reports repeated trials."""
     if not values:
-        return Summary(0.0, 0.0, 0.0, 0.0, 0)
+        return Summary(0.0, 0.0, 0.0, 0.0, 0, failures)
     return Summary(mean(values), stdev(values), min(values), max(values),
-                   len(values))
+                   len(values), failures)
 
 
 def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:

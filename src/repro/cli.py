@@ -7,11 +7,17 @@ Usage::
     python -m repro fig3a --pages 10     # bigger corpus
     python -m repro fig2a --csv out/     # also dump CSV data
     python -m repro joint                # §6 extension studies
+    python -m repro faults               # degraded-condition sweeps
+    python -m repro faults --journal out/j --resume   # continue a run
     python -m repro lint --format json   # simlint static analysis
 
 Every figure command prints the same rows the corresponding benchmark
-asserts on, at a configurable scale.  ``lint`` runs the determinism /
-sim-invariant static-analysis pass (see :mod:`repro.lint`).
+asserts on, at a configurable scale.  ``faults`` runs the fault-injection
+robustness study (see :mod:`repro.faults`); ``lint`` runs the
+determinism / sim-invariant static-analysis pass (see :mod:`repro.lint`).
+
+Error paths exit nonzero with a one-line ``error: ...`` message on
+stderr — no tracebacks.
 """
 
 from __future__ import annotations
@@ -242,7 +248,49 @@ def cmd_joint(args) -> None:
                ["browser", "plt_384", "plt_1512", "slowdown"], browser_rows)
 
 
+def cmd_faults(args) -> None:
+    from repro.core.studies import FaultStudy, FaultStudyConfig
+    from repro.video import VideoSpec
+
+    config = FaultStudyConfig(
+        n_pages=max(args.pages // 2, 2),
+        trials=args.trials,
+        clip=VideoSpec(duration_s=min(args.media_s, 30.0)),
+        crash_probability=args.crash_probability,
+        journal_dir=Path(args.journal) if args.journal else None,
+    )
+    study = FaultStudy(config)
+    headers = ["condition", "mean", "std", "n", "failed"]
+
+    def rows(points):
+        return [[p.label, f"{p.metric.mean:.3f}", f"{p.metric.stdev:.3f}",
+                 p.metric.n, p.metric.failures] for p in points]
+
+    print("Web PLT vs GE burst loss:")
+    web_ge = rows(study.plt_vs_burst_loss(resume=args.resume))
+    print(render_table(headers, web_ge))
+    print("\nWeb PLT vs thermal cap:")
+    web_th = rows(study.plt_vs_thermal_cap(resume=args.resume))
+    print(render_table(headers, web_th))
+    print("\nVideo stall ratio vs GE burst loss:")
+    vid_ge = rows(study.rebuffer_vs_burst_loss(resume=args.resume))
+    print(render_table(headers, vid_ge))
+    print("\nVideo stall ratio vs thermal cap (§3.2: read-ahead keeps "
+          "this flat):")
+    vid_th = rows(study.rebuffer_vs_thermal_cap(resume=args.resume))
+    print(render_table(headers, vid_th))
+    print("\nVideo startup latency vs thermal cap:")
+    vid_su = rows(study.startup_vs_thermal_cap(resume=args.resume))
+    print(render_table(headers, vid_su))
+    _maybe_csv(args, "faults_web_ge", headers, web_ge)
+    _maybe_csv(args, "faults_video_startup", headers, vid_su)
+    _maybe_csv(args, "faults_web_thermal", headers, web_th)
+    _maybe_csv(args, "faults_video_ge", headers, vid_ge)
+    _maybe_csv(args, "faults_video_thermal", headers, vid_th)
+
+
 _COMMANDS = {
+    "faults": cmd_faults,
     "table1": cmd_table1,
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -273,6 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="media session length in seconds (paper: 300)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write the series as CSV under DIR")
+    parser.add_argument("--journal", metavar="DIR", default=None,
+                        help="journal completed trials under DIR "
+                             "(faults only; enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip trials already journaled as ok "
+                             "(faults only; requires --journal)")
+    parser.add_argument("--crash-probability", type=float, default=0.0,
+                        help="per-trial injected crash probability "
+                             "(faults only)")
     return parser
 
 
@@ -289,7 +346,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         for name in sorted([*_COMMANDS, "lint"]):
             print(name)
         return 0
-    _COMMANDS[args.figure](args)
+    if args.trials < 1:
+        print(f"error: --trials must be at least 1 (got {args.trials})",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal DIR", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.crash_probability <= 1.0:
+        print("error: --crash-probability must lie in [0, 1] "
+              f"(got {args.crash_probability})", file=sys.stderr)
+        return 2
+    try:
+        _COMMANDS[args.figure](args)
+    except Exception as error:  # noqa: BLE001 - one-line message, no traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

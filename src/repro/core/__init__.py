@@ -9,13 +9,35 @@ Everything below maps one-to-one onto the paper's evaluation:
 * :mod:`repro.core.studies.offload` — Figs 7a–7c (DSP regex offload)
 * :mod:`repro.core.studies.history` — Fig 1 (2011–2018 evolution)
 
-:mod:`repro.core.experiments` provides the trial runner (seeded repeats →
-mean/std, the paper's 20-repetition methodology) and
+:mod:`repro.core.experiments` provides the trial runners (seeded repeats →
+mean/std, the paper's 20-repetition methodology; `RobustTrialRunner` adds
+budgets, retries, and journal/resume for fault-injected studies) and
 :mod:`repro.core.background` the background-load jitter that gives
 low-end devices their larger error bars.
 """
 
-from repro.core.experiments import TrialRunner, trial_summary
+from repro.core.experiments import (
+    RobustRunReport,
+    RobustTrialRunner,
+    TrialError,
+    TrialRecord,
+    TrialRunner,
+    TrialTimeout,
+    derive_retry_seed,
+    derive_seed,
+    trial_summary,
+)
 from repro.core.background import BackgroundLoad
 
-__all__ = ["BackgroundLoad", "TrialRunner", "trial_summary"]
+__all__ = [
+    "BackgroundLoad",
+    "RobustRunReport",
+    "RobustTrialRunner",
+    "TrialError",
+    "TrialRecord",
+    "TrialRunner",
+    "TrialTimeout",
+    "derive_retry_seed",
+    "derive_seed",
+    "trial_summary",
+]

@@ -5,14 +5,44 @@ returns one scalar or record.  :class:`TrialRunner` runs it across seeded
 trials and summarizes.  Determinism: trial ``i`` of experiment ``name``
 always uses the same derived seed, so every figure regenerates
 bit-identically.
+
+:class:`RobustTrialRunner` is the production-shaped execution layer: it
+survives individual trial failures (crash, deadlock, budget exhaustion)
+instead of losing a whole figure to one exception, retries with a derived
+reseed, journals completed trials to JSON for ``--resume``, and reports
+failure counts through :class:`~repro.analysis.stats.Summary` so figures
+render from the trials that succeeded.
+
+Error taxonomy:
+
+* :class:`TrialError` — base; one trial failed after all attempts.
+* :class:`TrialTimeout` — a step/wall budget was exhausted.
+* :class:`repro.sim.SimDeadlock` — the kernel detected a drained event
+  list with live processes (classified as ``"deadlock"`` in records).
+
+Seed-collision note: ``derive_seed`` hashes ``f"{experiment}:{trial}"``
+with CRC-32, keeping seeds 31-bit and stable.  CRC-32 over short distinct
+strings collides with probability ≈ ``n²/2³³`` (birthday bound) — about
+2×10⁻⁵ for the ~400 experiment-name × 100-trial pairs the benchmarks use.
+``tests/test_core_experiments.py`` asserts the current benchmark namespace
+is collision-free; if a collision ever appears, mix the trial index into
+the CRC input (e.g. hash ``f"{experiment}:{trial}:{trial * 0x9E3779B9}"``)
+— at the cost of regenerating every figure baseline.
 """
 
 from __future__ import annotations
 
+import inspect
+import json
+import os
+import time
 import zlib
-from typing import Callable, Sequence, TypeVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.stats import Summary, summarize
+from repro.sim import Interrupt, SimDeadlock, StepBudgetExceeded
 
 T = TypeVar("T")
 
@@ -20,6 +50,36 @@ T = TypeVar("T")
 def derive_seed(experiment: str, trial: int) -> int:
     """Stable 32-bit seed for (experiment, trial)."""
     return zlib.crc32(f"{experiment}:{trial}".encode()) & 0x7FFFFFFF
+
+
+def derive_retry_seed(experiment: str, trial: int, attempt: int) -> int:
+    """Reseed for retry ``attempt`` of a failed trial.
+
+    Attempt 0 is the canonical :func:`derive_seed` stream (so healthy runs
+    are unchanged); retries hash a distinct namespace so a stochastically
+    crashed trial gets fresh fault draws instead of replaying the crash.
+    """
+    if attempt == 0:
+        return derive_seed(experiment, trial)
+    return derive_seed(f"{experiment}#retry{attempt}", trial)
+
+
+class TrialError(Exception):
+    """One trial failed after exhausting its attempts."""
+
+    def __init__(self, experiment: str, trial: int, seed: int, message: str,
+                 cause: Optional[BaseException] = None):
+        super().__init__(
+            f"trial {trial} of {experiment!r} (seed {seed}) failed: {message}"
+        )
+        self.experiment = experiment
+        self.trial = trial
+        self.seed = seed
+        self.cause = cause
+
+
+class TrialTimeout(TrialError):
+    """A trial exhausted its step or wall-clock budget."""
 
 
 class TrialRunner:
@@ -48,9 +108,272 @@ class TrialRunner:
         return summarize(self.run(trial_fn))
 
 
+# -- robust execution ---------------------------------------------------------
+
+#: Record statuses a trial can end in.
+TRIAL_OK = "ok"
+TRIAL_CRASH = "crash"
+TRIAL_TIMEOUT = "timeout"
+TRIAL_DEADLOCK = "deadlock"
+TRIAL_ERROR = "error"
+
+#: Journal schema version.
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class TrialRecord:
+    """Outcome of one trial (one row of the journal)."""
+
+    trial: int
+    seed: int
+    status: str
+    value: Optional[float] = None
+    error: str = ""
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == TRIAL_OK
+
+    def as_dict(self) -> dict:
+        return {
+            "trial": self.trial, "seed": self.seed, "status": self.status,
+            "value": self.value, "error": self.error, "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TrialRecord":
+        return cls(
+            trial=int(raw["trial"]), seed=int(raw["seed"]),
+            status=str(raw["status"]), value=raw.get("value"),
+            error=str(raw.get("error", "")),
+            attempts=int(raw.get("attempts", 1)),
+        )
+
+
+@dataclass
+class RobustRunReport:
+    """All trial records of one robust run, successful or not."""
+
+    experiment: str
+    trials: int
+    records: list[TrialRecord] = field(default_factory=list)
+    resumed: int = 0  #: trials satisfied from the journal, not re-executed
+
+    @property
+    def values(self) -> list[float]:
+        """Values of the successful trials, in trial order."""
+        return [r.value for r in sorted(self.records, key=lambda r: r.trial)
+                if r.ok and r.value is not None]
+
+    @property
+    def failures(self) -> int:
+        """Number of trials that failed after all attempts."""
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    def failure_counts(self) -> dict[str, int]:
+        """Failures broken down by taxonomy status."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if not record.ok:
+                counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def summary(self) -> Summary:
+        """Mean ± std of the successful trials, failures counted alongside."""
+        return summarize(self.values, failures=self.failures)
+
+
+class RobustTrialRunner:
+    """Fault-tolerant :class:`TrialRunner`: budgets, retries, journaling.
+
+    ``trial_fn`` receives the derived seed; if it accepts a second
+    parameter it also receives ``step_budget`` to pass into
+    ``Environment.run(..., max_steps=...)``.  Each trial is attempted up to
+    ``max_attempts`` times — the first attempt on the canonical seed, each
+    retry on a derived reseed (see :func:`derive_retry_seed`).  Failures
+    are classified (crash / timeout / deadlock / error) and recorded, never
+    raised, so a study always completes with whatever trials succeeded.
+
+    ``journal_path`` enables crash-safe progress journaling: a JSON file
+    rewritten after every finished trial.  With ``resume=True`` on
+    :meth:`run`, trials already journaled as ``ok`` are loaded instead of
+    re-executed — only missing or previously failed trials run.
+    """
+
+    def __init__(
+        self,
+        trials: int = 5,
+        experiment: str = "exp",
+        max_attempts: int = 2,
+        step_budget: Optional[int] = None,
+        wall_budget_s: Optional[float] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+    ):
+        if trials < 1:
+            raise ValueError("need at least one trial")
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt per trial")
+        if step_budget is not None and step_budget < 1:
+            raise ValueError("step budget must be at least 1")
+        if wall_budget_s is not None and wall_budget_s <= 0:
+            raise ValueError("wall budget must be positive")
+        self.trials = trials
+        self.experiment = experiment
+        self.max_attempts = max_attempts
+        self.step_budget = step_budget
+        self.wall_budget_s = wall_budget_s
+        self.journal_path = Path(journal_path) if journal_path else None
+
+    # -- journal ----------------------------------------------------------
+
+    def load_journal(self) -> dict[int, TrialRecord]:
+        """Records from the journal file, keyed by trial index."""
+        if self.journal_path is None or not self.journal_path.exists():
+            return {}
+        try:
+            raw = json.loads(self.journal_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise TrialError(self.experiment, -1, 0,
+                             f"unreadable journal {self.journal_path}: {error}")
+        if raw.get("experiment") != self.experiment:
+            raise TrialError(
+                self.experiment, -1, 0,
+                f"journal {self.journal_path} belongs to experiment "
+                f"{raw.get('experiment')!r}, not {self.experiment!r}",
+            )
+        return {
+            record.trial: record
+            for record in (TrialRecord.from_dict(r) for r in raw.get("records", []))
+        }
+
+    def _write_journal(self, records: dict[int, TrialRecord]) -> None:
+        if self.journal_path is None:
+            return
+        payload = {
+            "version": JOURNAL_VERSION,
+            "experiment": self.experiment,
+            "trials": self.trials,
+            "records": [records[k].as_dict() for k in sorted(records)],
+        }
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.journal_path.with_suffix(self.journal_path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.journal_path)
+
+    # -- execution --------------------------------------------------------
+
+    @staticmethod
+    def _wants_step_budget(trial_fn: Callable) -> bool:
+        try:
+            parameters = inspect.signature(trial_fn).parameters
+        except (TypeError, ValueError):
+            return False
+        positional = [
+            p for p in parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        return len(positional) >= 2 or any(
+            p.kind == p.VAR_POSITIONAL for p in parameters.values()
+        )
+
+    def _attempt(self, trial_fn: Callable, seed: int,
+                 pass_budget: bool) -> float:
+        if pass_budget:
+            return trial_fn(seed, self.step_budget)
+        return trial_fn(seed)
+
+    def run(self, trial_fn: Callable, resume: bool = False) -> RobustRunReport:
+        """Execute (or resume) all trials; never raises for a failed trial."""
+        report = RobustRunReport(experiment=self.experiment, trials=self.trials)
+        records: dict[int, TrialRecord] = {}
+        if resume:
+            records = {
+                trial: record
+                for trial, record in self.load_journal().items()
+                if record.ok and trial < self.trials
+            }
+            report.resumed = len(records)
+        pass_budget = self._wants_step_budget(trial_fn)
+        for trial in range(self.trials):
+            if trial in records:
+                continue
+            records[trial] = self._run_trial(trial_fn, trial, pass_budget)
+            self._write_journal(records)
+        report.records = [records[k] for k in sorted(records)]
+        return report
+
+    def _run_trial(self, trial_fn: Callable, trial: int,
+                   pass_budget: bool) -> TrialRecord:
+        record = TrialRecord(trial=trial, seed=derive_seed(self.experiment, trial),
+                             status=TRIAL_ERROR)
+        for attempt in range(self.max_attempts):
+            seed = derive_retry_seed(self.experiment, trial, attempt)
+            record.seed = seed
+            record.attempts = attempt + 1
+            # Host-level watchdog, not sim time: the wall budget guards the
+            # *machine* against runaway trials, so it must read a real clock.
+            started = time.monotonic()  # simlint: disable=DET001
+            try:
+                value = self._attempt(trial_fn, seed, pass_budget)
+            except Interrupt as fault:
+                record.status = TRIAL_CRASH
+                record.error = f"interrupted: {fault.cause!r}"
+            except SimDeadlock as deadlock:
+                record.status = TRIAL_DEADLOCK
+                record.error = str(deadlock)
+            except StepBudgetExceeded as budget:
+                record.status = TRIAL_TIMEOUT
+                record.error = str(budget)
+            except Exception as error:  # noqa: BLE001 - taxonomy boundary
+                record.status = TRIAL_ERROR
+                record.error = f"{type(error).__name__}: {error}"
+            else:
+                elapsed = time.monotonic() - started  # simlint: disable=DET001
+                if (self.wall_budget_s is not None
+                        and elapsed > self.wall_budget_s):
+                    record.status = TRIAL_TIMEOUT
+                    record.error = (
+                        f"wall budget {self.wall_budget_s:.1f}s exceeded "
+                        f"({elapsed:.1f}s)"
+                    )
+                    # Retrying a too-slow trial would double the damage.
+                    return record
+                record.status = TRIAL_OK
+                record.value = float(value)
+                record.error = ""
+                return record
+        return record
+
+    def summary(self, trial_fn: Callable, resume: bool = False) -> Summary:
+        """Run (or resume) and summarize, failure counts included."""
+        return self.run(trial_fn, resume=resume).summary()
+
+
 def trial_summary(values: Sequence[float]) -> Summary:
     """Convenience re-export of :func:`repro.analysis.stats.summarize`."""
     return summarize(values)
 
 
-__all__ = ["TrialRunner", "derive_seed", "trial_summary"]
+__all__ = [
+    "RobustRunReport",
+    "RobustTrialRunner",
+    "TrialError",
+    "TrialRecord",
+    "TrialRunner",
+    "TrialTimeout",
+    "TRIAL_CRASH",
+    "TRIAL_DEADLOCK",
+    "TRIAL_ERROR",
+    "TRIAL_OK",
+    "TRIAL_TIMEOUT",
+    "derive_retry_seed",
+    "derive_seed",
+    "trial_summary",
+]

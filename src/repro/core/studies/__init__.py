@@ -1,6 +1,7 @@
 """Study definitions, one module per paper figure family."""
 
 from repro.core.studies.web import WebStudy, WebStudyConfig
+from repro.core.studies.faults import FaultStudy, FaultStudyConfig, FaultSweepPoint
 from repro.core.studies.video import VideoStudy, VideoStudyConfig
 from repro.core.studies.rtc import RtcStudy, RtcStudyConfig
 from repro.core.studies.network import throughput_vs_clock
@@ -16,6 +17,9 @@ __all__ = [
     "browsers_vs_clock",
     "joint_network_device_grid",
     "tls_overhead",
+    "FaultStudy",
+    "FaultStudyConfig",
+    "FaultSweepPoint",
     "OffloadStudy",
     "OffloadStudyConfig",
     "RtcStudy",

@@ -1,0 +1,267 @@
+"""Fault-injection QoE studies: degraded-condition extensions of §3/§4.
+
+The paper measures QoE on healthy devices over a clean WiFi link; these
+sweeps re-run the web PLT and video rebuffering experiments under the
+conditions that dominate real mobile sessions — bursty Gilbert–Elliott
+loss and thermal throttling — using :mod:`repro.faults` injectors and
+:class:`~repro.core.experiments.RobustTrialRunner`, so a trial killed by
+an injected crash degrades the summary (failure count) instead of the
+study.
+
+Every point is deterministic: trial ``i`` of a sweep position derives its
+seed from the experiment name, the fault plan draws from child streams of
+that seed, and re-running produces identical metrics and fault traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.stats import Summary
+from repro.core.background import BackgroundLoad, make_rng
+from repro.core.experiments import RobustRunReport, RobustTrialRunner
+from repro.device import Device, DeviceSpec, NEXUS4
+from repro.faults import BurstLossSpec, CrashSpec, FaultPlan, ThermalThrottleSpec
+from repro.netstack import Link, LinkSpec
+from repro.sim import Environment
+from repro.video import StreamingPlayer, StreamingResult, VideoSpec
+from repro.web import BrowserEngine
+from repro.workloads import generate_corpus
+from repro.workloads.pages import PageSpec
+from repro.workloads.regexcorpus import RegexWorkloadFactory
+
+
+@dataclass
+class FaultStudyConfig:
+    """Scale and robustness knobs for the degraded-condition sweeps.
+
+    Unlike the healthy-baseline studies, the default link is a congested
+    cellular-class path (3 Mbps, 60 ms RTT) — just above the ABR's 720p
+    bitrate, so injected loss bursts actually move PLT and stall ratio
+    instead of vanishing into LAN headroom.
+    """
+
+    n_pages: int = 3
+    trials: int = 5
+    clip: VideoSpec = field(default_factory=lambda: VideoSpec(duration_s=60.0))
+    link: LinkSpec = field(
+        default_factory=lambda: LinkSpec(goodput_bps=3e6, rtt_s=0.060))
+    background_jitter: bool = True
+    #: Injected crash probability per trial (0 disables the crash injector).
+    crash_probability: float = 0.0
+    max_attempts: int = 2
+    #: Kernel step budget per trial; None disables the guard.
+    step_budget: Optional[int] = 5_000_000
+    #: Directory for per-experiment trial journals (enables ``--resume``).
+    journal_dir: Optional[Path] = None
+
+
+@dataclass
+class FaultSweepPoint:
+    """One x-position of a degraded-condition figure."""
+
+    label: str
+    metric: Summary
+    report: RobustRunReport
+
+
+class FaultStudy:
+    """Web-PLT and video-rebuffer sweeps under injected faults."""
+
+    def __init__(self, config: Optional[FaultStudyConfig] = None):
+        self.config = config or FaultStudyConfig()
+        self.corpus: list[PageSpec] = generate_corpus(
+            self.config.n_pages, factory=RegexWorkloadFactory(),
+        )
+
+    # -- one faulted session ----------------------------------------------
+
+    def _crash_specs(self) -> tuple[CrashSpec, ...]:
+        if self.config.crash_probability <= 0:
+            return ()
+        return (CrashSpec(probability=self.config.crash_probability,
+                          window_s=(0.5, 8.0)),)
+
+    def load_page_with_faults(self, spec: DeviceSpec, page: PageSpec,
+                              plan: FaultPlan, seed: int,
+                              step_budget: Optional[int] = None,
+                              **device_kwargs) -> float:
+        """One faulted page load; returns the PLT in seconds."""
+        env = Environment()
+        rng = make_rng(seed)
+        device = Device(env, spec, **device_kwargs)
+        if self.config.background_jitter:
+            BackgroundLoad(env, device, make_rng(seed))
+        link = Link(env, self.config.link)
+        browser = BrowserEngine(env, device, link)
+        proc = env.process(browser.load(page))
+        plan.install(env, rng=rng, link=link, device=device, processes=[proc])
+        result = env.run(proc, max_steps=step_budget)
+        return result.plt
+
+    def stream_with_faults(self, spec: DeviceSpec, plan: FaultPlan, seed: int,
+                           step_budget: Optional[int] = None,
+                           **device_kwargs) -> StreamingResult:
+        """One faulted streaming session; returns the full result."""
+        env = Environment()
+        rng = make_rng(seed)
+        device = Device(env, spec, **device_kwargs)
+        if self.config.background_jitter:
+            BackgroundLoad(env, device, make_rng(seed))
+        link = Link(env, self.config.link)
+        player = StreamingPlayer(env, device, link, self.config.clip)
+        proc = env.process(player.run())
+        plan.install(env, rng=rng, link=link, device=device, processes=[proc])
+        return env.run(proc, max_steps=step_budget)
+
+    # -- runner plumbing ---------------------------------------------------
+
+    def _runner(self, experiment: str) -> RobustTrialRunner:
+        journal = None
+        if self.config.journal_dir is not None:
+            safe = experiment.replace(":", "_").replace("/", "_")
+            journal = Path(self.config.journal_dir) / f"{safe}.json"
+        return RobustTrialRunner(
+            trials=self.config.trials, experiment=experiment,
+            max_attempts=self.config.max_attempts,
+            step_budget=self.config.step_budget, journal_path=journal,
+        )
+
+    def _web_point(self, experiment: str, label: str, plan: FaultPlan,
+                   spec: DeviceSpec, resume: bool,
+                   **device_kwargs) -> FaultSweepPoint:
+        pages = self.corpus
+
+        def trial_fn(seed: int, step_budget: Optional[int]) -> float:
+            plts = [
+                self.load_page_with_faults(spec, page, plan, seed + i,
+                                           step_budget, **device_kwargs)
+                for i, page in enumerate(pages)
+            ]
+            return sum(plts) / len(plts)
+
+        report = self._runner(experiment).run(trial_fn, resume=resume)
+        return FaultSweepPoint(label=label, metric=report.summary(),
+                               report=report)
+
+    def _video_point(self, experiment: str, label: str, plan: FaultPlan,
+                     spec: DeviceSpec, resume: bool, metric: str = "stall",
+                     **device_kwargs) -> FaultSweepPoint:
+        def trial_fn(seed: int, step_budget: Optional[int]) -> float:
+            result = self.stream_with_faults(spec, plan, seed, step_budget,
+                                             **device_kwargs)
+            if metric == "startup":
+                return result.startup_latency_s
+            return result.stall_ratio
+
+        report = self._runner(experiment).run(trial_fn, resume=resume)
+        return FaultSweepPoint(label=label, metric=report.summary(),
+                               report=report)
+
+    # -- sweeps ------------------------------------------------------------
+
+    def plt_vs_burst_loss(
+        self, spec: DeviceSpec = NEXUS4,
+        p_bads: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
+        resume: bool = False,
+    ) -> list[FaultSweepPoint]:
+        """Mean PLT as the bad-state loss rate of a GE channel grows."""
+        points = []
+        for p_bad in p_bads:
+            specs = self._crash_specs()
+            if p_bad > 0:
+                specs = (BurstLossSpec(p_bad=p_bad, mean_good_s=3.0,
+                                       mean_bad_s=2.0),) + specs
+            points.append(self._web_point(
+                f"faults:web:ge:{p_bad}", f"p_bad={p_bad}",
+                FaultPlan(specs), spec, resume, governor="OD",
+            ))
+        return points
+
+    def plt_vs_thermal_cap(
+        self, spec: DeviceSpec = NEXUS4,
+        caps: Sequence[float] = (1.0, 0.75, 0.5, 0.35),
+        resume: bool = False,
+    ) -> list[FaultSweepPoint]:
+        """Mean PLT as a thermal governor caps the DVFS ladder mid-load."""
+        points = []
+        for cap in caps:
+            specs = self._crash_specs()
+            if cap < 1.0:
+                specs = (ThermalThrottleSpec(
+                    schedule=((0.5, cap),)),) + specs
+            points.append(self._web_point(
+                f"faults:web:thermal:{cap}", f"cap={cap}",
+                FaultPlan(specs), spec, resume, governor="OD",
+            ))
+        return points
+
+    def rebuffer_vs_burst_loss(
+        self, spec: DeviceSpec = NEXUS4,
+        p_bads: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
+        resume: bool = False,
+    ) -> list[FaultSweepPoint]:
+        """Stall ratio as the GE channel's bad-state loss rate grows."""
+        points = []
+        for p_bad in p_bads:
+            specs = self._crash_specs()
+            if p_bad > 0:
+                specs = (BurstLossSpec(p_bad=p_bad, mean_good_s=3.0,
+                                       mean_bad_s=2.0),) + specs
+            points.append(self._video_point(
+                f"faults:video:ge:{p_bad}", f"p_bad={p_bad}",
+                FaultPlan(specs), spec, resume, governor="OD",
+            ))
+        return points
+
+    def rebuffer_vs_thermal_cap(
+        self, spec: DeviceSpec = NEXUS4,
+        caps: Sequence[float] = (1.0, 0.75, 0.5, 0.35),
+        resume: bool = False,
+    ) -> list[FaultSweepPoint]:
+        """Stall ratio as thermal throttling caps the decode clock.
+
+        Expected near-zero across the whole sweep: §3.2's finding that the
+        read-ahead buffer makes playback immune to slow clocks holds under
+        injected thermal throttling too — the robustness analogue of
+        Fig 4a's flat stall line.  The metric that *does* move is startup
+        (see :meth:`startup_vs_thermal_cap`).
+        """
+        points = []
+        for cap in caps:
+            specs = self._crash_specs()
+            if cap < 1.0:
+                specs = (ThermalThrottleSpec(
+                    schedule=((0.5, cap),)),) + specs
+            points.append(self._video_point(
+                f"faults:video:thermal:{cap}", f"cap={cap}",
+                FaultPlan(specs), spec, resume, governor="OD",
+            ))
+        return points
+
+    def startup_vs_thermal_cap(
+        self, spec: DeviceSpec = NEXUS4,
+        caps: Sequence[float] = (1.0, 0.75, 0.5, 0.35),
+        resume: bool = False,
+    ) -> list[FaultSweepPoint]:
+        """Start-up latency under thermal caps — the metric §3.2 says
+        clock throttling actually hurts (player init is compute-bound)."""
+        points = []
+        for cap in caps:
+            specs = self._crash_specs()
+            if cap < 1.0:
+                # Cap from t=0 so the init phase, not just steady state,
+                # runs throttled.
+                specs = (ThermalThrottleSpec(
+                    schedule=((0.0, cap),)),) + specs
+            points.append(self._video_point(
+                f"faults:video:startup:{cap}", f"cap={cap}",
+                FaultPlan(specs), spec, resume, metric="startup",
+                governor="OD",
+            ))
+        return points
+
+
+__all__ = ["FaultStudy", "FaultStudyConfig", "FaultSweepPoint"]

@@ -89,6 +89,11 @@ class Device:
             self.governor_code = self.governor.code
         self.governor.start()
         self._working_set_gb = 0.0
+        self._fault_pressure_gb = 0.0
+
+    def _apply_memory_multiplier(self) -> None:
+        effective = self._working_set_gb + self._fault_pressure_gb
+        self.cpu.set_cycle_multiplier(self.memory.cycle_multiplier(effective))
 
     def set_working_set(self, working_set_gb: float) -> None:
         """Declare the running workload's memory working set.
@@ -97,12 +102,31 @@ class Device:
         every task submitted afterwards.
         """
         self._working_set_gb = working_set_gb
-        self.cpu.set_cycle_multiplier(self.memory.cycle_multiplier(working_set_gb))
+        self._apply_memory_multiplier()
+
+    def set_fault_pressure(self, pressure_gb: float) -> None:
+        """Overlay extra memory pressure from a fault injector.
+
+        Models competing-app allocations and low-memory-killer evictions:
+        ``pressure_gb`` is added to the workload's declared working set when
+        computing the compute-cycle multiplier.  Setting 0 clears the fault.
+        """
+        if pressure_gb < 0:
+            raise ValueError("fault pressure must be non-negative")
+        self._fault_pressure_gb = pressure_gb
+        self._apply_memory_multiplier()
+
+    @property
+    def fault_pressure_gb(self) -> float:
+        """Extra working-set GB currently injected by memory faults."""
+        return self._fault_pressure_gb
 
     @property
     def memory_pressure_multiplier(self) -> float:
         """Current compute-cycle inflation from memory pressure."""
-        return self.memory.cycle_multiplier(self._working_set_gb)
+        return self.memory.cycle_multiplier(
+            self._working_set_gb + self._fault_pressure_gb
+        )
 
     def submit(self, cycles: float, mem_stall: float = 0.0) -> CpuTask:
         """Schedule ``cycles`` of CPU work; returns a task handle."""

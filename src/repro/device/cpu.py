@@ -77,6 +77,8 @@ class Cluster:
         self.spec = spec
         self.online_cores = online_cores
         self._freq_index = len(spec.freqs_mhz) - 1
+        self._requested_index = self._freq_index
+        self._thermal_cap_index: Optional[int] = None
         self._busy = 0  # number of cores currently executing a task
         self._busy_time = 0.0  # integrated core-busy seconds
         self._last_change = env.now
@@ -120,9 +122,32 @@ class Cluster:
         """Effective instruction rate of one core (freq × IPC)."""
         return self.freq_hz * self.spec.ipc
 
+    @property
+    def thermal_cap_index(self) -> Optional[int]:
+        """Highest ladder step currently allowed by thermal throttling."""
+        return self._thermal_cap_index
+
+    def set_thermal_cap_index(self, index: Optional[int]) -> None:
+        """Cap the DVFS ladder at step ``index`` (``None`` lifts the cap).
+
+        The cap models a thermal governor: whatever frequency the cpufreq
+        governor requests is clamped to the cap, and the current operating
+        point is pulled down immediately when the cap tightens.
+        """
+        if index is not None:
+            index = max(0, min(index, len(self.spec.freqs_mhz) - 1))
+        self._thermal_cap_index = index
+        # Re-apply the governor's last request so the operating point both
+        # drops when a cap tightens and recovers when it lifts (static
+        # governors never re-sample, so recovery must happen here).
+        self.set_freq_index(self._requested_index)
+
     def set_freq_index(self, index: int) -> None:
         """Pin the cluster to ladder step ``index`` (clamped)."""
         index = max(0, min(index, len(self.spec.freqs_mhz) - 1))
+        self._requested_index = index
+        if self._thermal_cap_index is not None:
+            index = min(index, self._thermal_cap_index)
         if index != self._freq_index:
             self._account()
             self._freq_index = index
@@ -238,6 +263,28 @@ class CPU:
         if factor < 1.0:
             raise ValueError("cycle multiplier cannot deflate work")
         self._cycle_multiplier = factor
+
+    def set_thermal_cap_fraction(self, fraction: Optional[float]) -> None:
+        """Cap every cluster's ladder at ``fraction`` of its top frequency.
+
+        ``None`` (or 1.0) lifts the cap.  The cap index is the highest
+        ladder step at or below ``fraction × max_mhz`` (at least the bottom
+        step, so a tiny fraction pins the ladder floor rather than going
+        offline).
+        """
+        if fraction is None:
+            for cluster in self.clusters:
+                cluster.set_thermal_cap_index(None)
+            return
+        if not 0 < fraction <= 1:
+            raise ValueError(f"cap fraction must lie in (0, 1], got {fraction!r}")
+        for cluster in self.clusters:
+            threshold = fraction * cluster.spec.max_mhz
+            cap = 0
+            for index, step in enumerate(cluster.spec.freqs_mhz):
+                if step <= threshold:
+                    cap = index
+            cluster.set_thermal_cap_index(cap if fraction < 1.0 else None)
 
     def set_all_freq_index(self, index: int) -> None:
         for cluster in self.clusters:

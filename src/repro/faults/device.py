@@ -1,0 +1,75 @@
+"""Device-layer fault injectors: thermal throttling and memory pressure.
+
+Thermal throttling follows a deterministic schedule (SoC thermal governors
+are threshold-driven, not random); memory pressure is stochastic episodes
+of competing-app allocations, drawn from the injector's seeded stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.device import Device
+from repro.faults.plan import FaultTrace, MemoryPressureSpec, ThermalThrottleSpec
+from repro.sim import Environment
+
+
+class ThermalThrottleInjector:
+    """Walk a ``(t, cap_fraction)`` schedule, capping the DVFS ladder."""
+
+    name = "thermal"
+
+    def __init__(self, env: Environment, device: Device,
+                 spec: ThermalThrottleSpec, *,
+                 rng: random.Random, trace: FaultTrace):
+        self.env = env
+        self.device = device
+        self.spec = spec
+        self.rng = rng  # unused (deterministic schedule); kept for API symmetry
+        self.trace = trace
+        env.process(self._run())
+
+    def _run(self):
+        previous = 0.0
+        for t_s, cap in self.spec.schedule:
+            yield self.env.timeout(t_s - previous)
+            previous = t_s
+            self.device.cpu.set_thermal_cap_fraction(
+                None if cap >= 1.0 else cap
+            )
+            self.trace.record(self.env, self.name,
+                              "lift" if cap >= 1.0 else "cap",
+                              f"fraction={cap}")
+
+
+class MemoryPressureInjector:
+    """Stochastic eviction episodes raising the device's working set."""
+
+    name = "mem-pressure"
+
+    def __init__(self, env: Environment, device: Device,
+                 spec: MemoryPressureSpec, *,
+                 rng: random.Random, trace: FaultTrace):
+        self.env = env
+        self.device = device
+        self.spec = spec
+        self.rng = rng
+        self.trace = trace
+        env.process(self._run())
+
+    def _run(self):
+        spec = self.spec
+        if spec.start_s > 0:
+            yield self.env.timeout(spec.start_s)
+        low, high = spec.pressure_gb
+        while True:
+            yield self.env.timeout(
+                self.rng.expovariate(1.0 / spec.mean_interval_s)
+            )
+            pressure = self.rng.uniform(low, high)
+            self.device.set_fault_pressure(pressure)
+            self.trace.record(self.env, self.name, "evict",
+                              f"pressure_gb={pressure:.6f}")
+
+
+__all__ = ["MemoryPressureInjector", "ThermalThrottleInjector"]

@@ -1,0 +1,115 @@
+"""Link-layer fault injectors: burst loss, flaps/outages, latency spikes.
+
+Each injector is a simulation process driving the degradation overlay of
+one :class:`repro.netstack.Link` (``set_loss`` / ``take_down`` /
+``set_extra_delay``) from its own seeded RNG stream, recording every
+transition into the trial's :class:`~repro.faults.plan.FaultTrace`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import (
+    BurstLossSpec,
+    FaultTrace,
+    LatencySpikeSpec,
+    LinkFlapSpec,
+)
+from repro.netstack import Link
+from repro.sim import Environment
+
+
+class GilbertElliottLossInjector:
+    """Two-state Markov burst loss: good ↔ bad with exponential dwells."""
+
+    name = "ge-loss"
+
+    def __init__(self, env: Environment, link: Link, spec: BurstLossSpec, *,
+                 rng: random.Random, trace: FaultTrace):
+        self.env = env
+        self.link = link
+        self.spec = spec
+        self.rng = rng
+        self.trace = trace
+        env.process(self._run())
+
+    def _run(self):
+        spec = self.spec
+        if spec.start_s > 0:
+            yield self.env.timeout(spec.start_s)
+        self.link.set_loss(spec.p_good)
+        self.trace.record(self.env, self.name, "good", f"loss={spec.p_good}")
+        bad = False
+        while True:
+            mean = spec.mean_bad_s if bad else spec.mean_good_s
+            yield self.env.timeout(self.rng.expovariate(1.0 / mean))
+            bad = not bad
+            loss = spec.p_bad if bad else spec.p_good
+            self.link.set_loss(loss)
+            self.trace.record(self.env, self.name,
+                              "bad" if bad else "good", f"loss={loss}")
+
+
+class LinkFlapInjector:
+    """Alternating up/outage cycles with exponential dwell times."""
+
+    name = "link-flap"
+
+    def __init__(self, env: Environment, link: Link, spec: LinkFlapSpec, *,
+                 rng: random.Random, trace: FaultTrace):
+        self.env = env
+        self.link = link
+        self.spec = spec
+        self.rng = rng
+        self.trace = trace
+        env.process(self._run())
+
+    def _run(self):
+        spec = self.spec
+        if spec.start_s > 0:
+            yield self.env.timeout(spec.start_s)
+        while True:
+            yield self.env.timeout(self.rng.expovariate(1.0 / spec.mean_up_s))
+            self.link.take_down()
+            self.trace.record(self.env, self.name, "down")
+            yield self.env.timeout(self.rng.expovariate(1.0 / spec.mean_down_s))
+            self.link.bring_up()
+            self.trace.record(self.env, self.name, "up")
+
+
+class LatencySpikeInjector:
+    """Transient extra one-way delay layered onto every transfer."""
+
+    name = "latency-spike"
+
+    def __init__(self, env: Environment, link: Link, spec: LatencySpikeSpec, *,
+                 rng: random.Random, trace: FaultTrace):
+        self.env = env
+        self.link = link
+        self.spec = spec
+        self.rng = rng
+        self.trace = trace
+        env.process(self._run())
+
+    def _run(self):
+        spec = self.spec
+        if spec.start_s > 0:
+            yield self.env.timeout(spec.start_s)
+        while True:
+            yield self.env.timeout(
+                self.rng.expovariate(1.0 / spec.mean_interval_s)
+            )
+            self.link.set_extra_delay(spec.spike_s)
+            self.trace.record(self.env, self.name, "spike",
+                              f"extra={spec.spike_s}")
+            yield self.env.timeout(spec.spike_duration_s)
+            self.link.set_extra_delay(0.0)
+            self.trace.record(self.env, self.name, "clear")
+
+
+__all__ = [
+    "GilbertElliottLossInjector",
+    "LatencySpikeInjector",
+    "LinkFlapInjector",
+]

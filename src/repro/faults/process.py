@@ -1,0 +1,52 @@
+"""Process-layer fault injection: crash/abort of sim processes.
+
+Crashes use the kernel's own :class:`repro.sim.Interrupt` mechanism, so
+from the target's perspective a fault is indistinguishable from any other
+interrupt — which is exactly how `RobustTrialRunner` classifies it into
+the trial error taxonomy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.faults.plan import CrashSpec, FaultTrace
+from repro.sim import Environment, Process
+
+
+class CrashInjector:
+    """Interrupt the trial's foreground processes at a stochastic instant."""
+
+    name = "crash"
+
+    def __init__(self, env: Environment, processes: Sequence[Process],
+                 spec: CrashSpec, *,
+                 rng: random.Random, trace: FaultTrace):
+        self.env = env
+        self.processes = tuple(processes)
+        self.spec = spec
+        self.rng = rng
+        self.trace = trace
+        env.process(self._run())
+
+    def _run(self):
+        spec = self.spec
+        # Draw the coin and the instant up front so the number of draws per
+        # trial is fixed — replays stay aligned whatever the outcome.
+        fire = self.rng.random() < spec.probability
+        low, high = spec.window_s
+        at_s = self.rng.uniform(low, high)
+        if not fire:
+            return
+        yield self.env.timeout(at_s)
+        crashed = 0
+        for process in self.processes:
+            if process.is_alive:
+                process.interrupt(spec.cause)
+                crashed += 1
+        self.trace.record(self.env, self.name, "crash",
+                          f"targets={crashed} cause={spec.cause}")
+
+
+__all__ = ["CrashInjector"]

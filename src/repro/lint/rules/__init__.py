@@ -130,6 +130,7 @@ from repro.lint.rules.determinism import (  # noqa: E402
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.lint.rules.faults import SeededFaultInjectionRule  # noqa: E402
 from repro.lint.rules.simapi import (  # noqa: E402
     BlockingCallRule,
     KernelStateMutationRule,
@@ -149,6 +150,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     KernelStateMutationRule(),
     MixedUnitArithmeticRule(),
     CatalogSchemaRule(),
+    SeededFaultInjectionRule(),
 )
 
 

@@ -13,6 +13,8 @@ Public API:
 * :class:`Store` — producer/consumer buffer of Python objects.
 * :class:`Container` — continuous-level reservoir (e.g. playback buffer).
 * :class:`Interrupt` — exception injected into a process by `Process.interrupt`.
+* :class:`SimDeadlock` — event list drained while processes were still alive.
+* :class:`StepBudgetExceeded` — ``run(max_steps=...)`` guard tripped.
 """
 
 from repro.sim.core import (
@@ -22,7 +24,9 @@ from repro.sim.core import (
     Event,
     Interrupt,
     Process,
+    SimDeadlock,
     SimulationError,
+    StepBudgetExceeded,
     Timeout,
 )
 from repro.sim.resources import Container, Resource, Store
@@ -36,7 +40,9 @@ __all__ = [
     "Interrupt",
     "Process",
     "Resource",
+    "SimDeadlock",
     "SimulationError",
+    "StepBudgetExceeded",
     "Store",
     "Timeout",
 ]

@@ -26,6 +26,36 @@ class SimulationError(Exception):
     """Raised for illegal kernel operations (e.g. triggering twice)."""
 
 
+class SimDeadlock(SimulationError):
+    """The event list drained while processes were still waiting.
+
+    Nothing can ever fire again, so whatever the caller was waiting for is
+    unreachable.  Carries the simulated time of detection (``now``) and the
+    names of up to five still-alive process generators (``live``) so trial
+    harnesses can journal *where* a run got stuck.
+    """
+
+    def __init__(self, message: str, *, now: float = 0.0,
+                 live: tuple = ()):
+        super().__init__(message)
+        self.now = now
+        self.live = tuple(live)
+
+
+class StepBudgetExceeded(SimulationError):
+    """``Environment.run`` hit its ``max_steps`` guard.
+
+    A step budget turns a runaway (or livelocked) simulation into a
+    structured failure: ``now`` is the simulated time reached and
+    ``steps`` the number of events processed before the guard fired.
+    """
+
+    def __init__(self, message: str, *, now: float = 0.0, steps: int = 0):
+        super().__init__(message)
+        self.now = now
+        self.steps = steps
+
+
 class Interrupt(Exception):
     """Thrown into a process when another process interrupts it.
 
@@ -151,6 +181,7 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._pid = env._register_process(self)
         Initialize(env, self)
 
     @property
@@ -197,12 +228,14 @@ class Process(Event):
                 self._target = None
                 self._ok = True
                 self._value = stop.value
+                self.env._unregister_process(self)
                 self.env.schedule(self)
                 break
             except BaseException as error:
                 self._target = None
                 self._ok = False
                 self._value = error
+                self.env._unregister_process(self)
                 self.env.schedule(self)
                 if not self.callbacks:
                     # Nobody is waiting on this process: surface the crash.
@@ -304,6 +337,8 @@ class Environment:
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self._crashed: list[tuple[Process, BaseException]] = []
+        self._live: dict[int, Process] = {}
+        self._next_pid = 0
 
     @property
     def now(self) -> float:
@@ -314,6 +349,39 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped, if any."""
         return self._active_process
+
+    @property
+    def live_process_count(self) -> int:
+        """Number of processes whose generators have not terminated."""
+        return len(self._live)
+
+    def _register_process(self, process: Process) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        self._live[pid] = process
+        return pid
+
+    def _unregister_process(self, process: Process) -> None:
+        self._live.pop(process._pid, None)
+
+    def _live_process_names(self, limit: int = 5) -> tuple:
+        names = []
+        for pid in sorted(self._live):
+            generator = self._live[pid]._generator
+            names.append(getattr(generator, "__name__", repr(generator)))
+            if len(names) >= limit:
+                break
+        return tuple(names)
+
+    def _deadlock(self, waiting_for: str) -> SimDeadlock:
+        live = self._live_process_names()
+        detail = f"; live processes: {', '.join(live)}" if live else ""
+        return SimDeadlock(
+            f"deadlock at t={self._now:.6f}: event list drained while "
+            f"{len(self._live)} process(es) were still alive and "
+            f"{waiting_for} had not fired{detail}",
+            now=self._now, live=live,
+        )
 
     def schedule(
         self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
@@ -361,19 +429,34 @@ class Environment:
             process, error = self._crashed.pop()
             raise error
 
-    def run(self, until: Optional[float | Event] = None) -> Any:
+    def run(self, until: Optional[float | Event] = None,
+            max_steps: Optional[int] = None) -> Any:
         """Run until time ``until``, event ``until``, or event-list exhaustion.
 
         Returns the value of ``until`` when it is an event.
+
+        ``max_steps`` bounds the number of events processed by this call;
+        exceeding it raises :class:`StepBudgetExceeded`.  If the event list
+        drains while processes are still alive (so the awaited event — or
+        any further progress — is unreachable), :class:`SimDeadlock` is
+        raised with the simulated time and the stuck process names.
         """
+        if max_steps is not None and max_steps < 1:
+            raise ValueError("max_steps must be at least 1")
+        steps = 0
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
                 if not self._queue:
-                    raise SimulationError(
-                        "event queue drained before the awaited event fired"
+                    raise self._deadlock("the awaited event")
+                if max_steps is not None and steps >= max_steps:
+                    raise StepBudgetExceeded(
+                        f"step budget of {max_steps} events exhausted at "
+                        f"t={self._now:.6f} before the awaited event fired",
+                        now=self._now, steps=steps,
                     )
                 self.step()
+                steps += 1
             if stop._ok:
                 return stop._value
             raise stop._value
@@ -381,7 +464,16 @@ class Environment:
         if horizon < self._now:
             raise ValueError(f"until={horizon} is in the past (now={self._now})")
         while self._queue and self._queue[0][0] <= horizon:
+            if max_steps is not None and steps >= max_steps:
+                raise StepBudgetExceeded(
+                    f"step budget of {max_steps} events exhausted at "
+                    f"t={self._now:.6f} (horizon {horizon})",
+                    now=self._now, steps=steps,
+                )
             self.step()
+            steps += 1
+        if horizon == float("inf") and self._live:
+            raise self._deadlock("further progress")
         if horizon != float("inf"):
             self._now = horizon
         return None

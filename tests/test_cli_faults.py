@@ -1,0 +1,98 @@
+"""CLI error paths and the faults study's journal/resume round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.studies import FaultStudy, FaultStudyConfig
+from repro.video import VideoSpec
+
+
+# -- error paths: nonzero exit, one-line message, no traceback --------------
+
+def test_unknown_figure_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["figZZ"])
+    assert exc_info.value.code == 2
+    err = capsys.readouterr().err
+    assert "figZZ" in err
+    assert "Traceback" not in err
+
+
+def test_trials_zero_is_rejected_with_one_line_message(capsys):
+    assert main(["fig6", "--trials", "0"]) == 2
+    err = capsys.readouterr().err
+    assert err.strip().startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
+
+
+def test_resume_requires_journal(capsys):
+    assert main(["faults", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "error: --resume requires --journal" in err
+    assert "Traceback" not in err
+
+
+def test_crash_probability_out_of_range_is_rejected(capsys):
+    assert main(["faults", "--crash-probability", "1.5"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_command_exception_prints_one_line_error(capsys, monkeypatch):
+    import repro.cli as cli
+
+    def explode(args):
+        raise RuntimeError("study blew up")
+
+    monkeypatch.setitem(cli._COMMANDS, "fig6", explode)
+    assert main(["fig6"]) == 1
+    err = capsys.readouterr().err
+    assert err.strip() == "error: study blew up"
+    assert "Traceback" not in err
+
+
+def test_list_includes_faults(capsys):
+    assert main(["list"]) == 0
+    names = capsys.readouterr().out.split()
+    assert "faults" in names
+    assert "lint" in names
+
+
+# -- journal/resume round trip through the study ----------------------------
+
+def _tiny_study(tmp_path) -> FaultStudy:
+    return FaultStudy(FaultStudyConfig(
+        n_pages=1, trials=2, clip=VideoSpec(duration_s=5.0),
+        journal_dir=tmp_path, max_attempts=1,
+    ))
+
+
+def test_interrupted_then_resume_reexecutes_only_missing(tmp_path):
+    study = _tiny_study(tmp_path)
+    first = study.plt_vs_burst_loss(p_bads=(0.3,))
+    (journal,) = tmp_path.glob("*.json")
+    assert journal.name == "faults_web_ge_0.3.json"
+
+    # Simulate an interrupt: drop the journal's second trial.
+    import json
+
+    payload = json.loads(journal.read_text())
+    assert len(payload["records"]) == 2
+    payload["records"] = payload["records"][:1]
+    journal.write_text(json.dumps(payload))
+
+    resumed_study = _tiny_study(tmp_path)
+    loads = []
+    original = resumed_study.load_page_with_faults
+
+    def counting(*args, **kwargs):
+        loads.append(args)
+        return original(*args, **kwargs)
+
+    resumed_study.load_page_with_faults = counting
+    second = resumed_study.plt_vs_burst_loss(p_bads=(0.3,), resume=True)
+    assert len(loads) == 1            # one page x the single missing trial
+    assert second[0].report.resumed == 1
+    assert second[0].metric == first[0].metric

@@ -141,8 +141,8 @@ CLEAN = {
         """,
 }
 
-# DET005 is path-scoped to core/studies/; exercised separately below.
-_PATH_SCOPED = {"DET005"}
+# DET005 and FLT401 are path/import-scoped; exercised separately below.
+_PATH_SCOPED = {"DET005", "FLT401"}
 
 
 @pytest.mark.parametrize("rule_id", sorted(FLAGGED))
@@ -170,6 +170,66 @@ def test_det005_flags_inline_rng_only_in_studies(tmp_path):
     elsewhere = lint_source(tmp_path, source, select=["DET005"],
                             name="workloads/fake.py")
     assert elsewhere.findings == []
+
+
+def test_flt401_flags_injector_without_rng_in_faults_package(tmp_path):
+    source = """
+        def install_all(env, link, spec, trace):
+            GilbertElliottLossInjector(env, link, spec, trace=trace)
+        """
+    report = lint_source(tmp_path, source, select=["FLT401"],
+                         name="repro/faults/custom.py")
+    assert rule_ids(report) == ["FLT401"]
+
+
+def test_flt401_scopes_by_import_of_repro_faults(tmp_path):
+    source = """
+        from repro.faults import FaultPlan
+
+        def degrade(env, plan, link):
+            plan.install(env, link=link)
+        """
+    report = lint_source(tmp_path, source, select=["FLT401"],
+                         name="app/study.py")
+    assert rule_ids(report) == ["FLT401"]
+    # Same shapes without the import are out of scope: `.install` and
+    # `*Injector` are common-enough names elsewhere.
+    unrelated = """
+        def setup(pkg, env, link):
+            pkg.install(env, link=link)
+        """
+    clean = lint_source(tmp_path, unrelated, select=["FLT401"],
+                        name="app/other.py")
+    assert clean.findings == []
+
+
+def test_flt401_rejects_none_and_unseeded_rng_values(tmp_path):
+    source = """
+        from repro.faults import CrashInjector
+        import random
+
+        def bad(env, procs, spec, trace):
+            CrashInjector(env, procs, spec, rng=None, trace=trace)
+            CrashInjector(env, procs, spec, rng=random.Random(), trace=trace)
+        """
+    report = lint_source(tmp_path, source, select=["FLT401"],
+                         name="app/crashy.py")
+    assert len(report.findings) == 2
+    assert rule_ids(report) == ["FLT401"]
+
+
+def test_flt401_accepts_seeded_streams(tmp_path):
+    source = """
+        from repro.faults import FaultPlan, spawn_rng
+        from repro.core.background import make_rng
+
+        def degrade(env, plan, link, seed, parent):
+            plan.install(env, rng=make_rng(seed), link=link)
+            plan.install(env, rng=spawn_rng(parent), link=link)
+        """
+    report = lint_source(tmp_path, source, select=["FLT401"],
+                         name="app/study.py")
+    assert report.findings == []
 
 
 def test_sim103_exempts_the_kernel_package(tmp_path):

@@ -22,6 +22,17 @@ def test_spec_validation():
         LinkSpec(loss=1.0)
 
 
+def test_spec_rejects_non_finite_values():
+    with pytest.raises(ValueError):
+        LinkSpec(goodput_bps=float("inf"))
+    with pytest.raises(ValueError):
+        LinkSpec(goodput_bps=float("nan"))
+    with pytest.raises(ValueError):
+        LinkSpec(goodput_bps=-5.0)
+    with pytest.raises(ValueError):
+        LinkSpec(rtt_s=float("inf"))
+
+
 def test_bdp():
     spec = LinkSpec(goodput_bps=48e6, rtt_s=0.010)
     assert spec.bdp_bytes == pytest.approx(48e6 / 8 * 0.010)
@@ -59,3 +70,65 @@ def test_transmit_rejects_negative():
     env.process(bad())
     with pytest.raises(ValueError):
         env.run()
+
+
+@pytest.mark.parametrize("nbytes", [0, -0.5, float("nan"), float("inf"),
+                                    "1000"])
+def test_transmit_rejects_degenerate_sizes(nbytes):
+    env = Environment()
+    link = Link(env)
+
+    def bad():
+        yield from link.transmit(nbytes)
+
+    env.process(bad())
+    with pytest.raises((ValueError, TypeError), match="transmit"):
+        env.run()
+
+
+def test_set_loss_and_rate_factor_validation():
+    env = Environment()
+    link = Link(env)
+    with pytest.raises(ValueError):
+        link.set_loss(1.0)
+    with pytest.raises(ValueError):
+        link.set_loss(-0.1)
+    with pytest.raises(ValueError):
+        link.set_rate_factor(0.0)
+    with pytest.raises(ValueError):
+        link.set_rate_factor(1.5)
+    with pytest.raises(ValueError):
+        link.set_extra_delay(-1.0)
+
+
+def test_loss_inflates_serialization_time():
+    env = Environment()
+    link = Link(env, LinkSpec(goodput_bps=8e6))  # 1 MB/s
+    link.set_loss(0.5)
+    # Retransmission inflation: nbytes / (1 - loss).
+    assert link.effective_serialization_time(1_000_000) == pytest.approx(2.0)
+    link.set_loss(0.0)
+    assert link.effective_serialization_time(1_000_000) == pytest.approx(1.0)
+
+
+def test_rate_factor_slows_transfer():
+    env = Environment()
+    link = Link(env, LinkSpec(goodput_bps=8e6))
+    link.set_rate_factor(0.5)
+    done = []
+
+    def sender():
+        yield from link.transmit(1_000_000)
+        done.append(env.now)
+
+    env.process(sender())
+    env.run(until=10.0)
+    assert done == [pytest.approx(2.0)]
+
+
+def test_bring_up_without_outage_is_a_no_op():
+    env = Environment()
+    link = Link(env)
+    assert not link.is_down
+    link.bring_up()
+    assert not link.is_down

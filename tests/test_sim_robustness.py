@@ -1,0 +1,126 @@
+"""Kernel hardening: deadlock detection and step budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, SimDeadlock, SimulationError, StepBudgetExceeded
+
+
+def test_deadlock_on_awaited_event_that_cannot_fire():
+    env = Environment()
+    blocker = env.event()
+
+    def stuck(env, blocker):
+        yield blocker
+
+    env.process(stuck(env, blocker))
+    with pytest.raises(SimDeadlock) as exc_info:
+        env.run(blocker)
+    deadlock = exc_info.value
+    assert isinstance(deadlock, SimulationError)
+    assert "t=0.000000" in str(deadlock)
+    assert deadlock.now == 0.0
+    assert "stuck" in deadlock.live
+
+
+def test_deadlock_reports_sim_time_of_the_stall():
+    env = Environment()
+
+    def stuck(env):
+        yield env.timeout(3.5)
+        yield env.event()  # never fires
+
+    env.process(stuck(env))
+    with pytest.raises(SimDeadlock) as exc_info:
+        env.run()
+    assert exc_info.value.now == pytest.approx(3.5)
+    assert "t=3.500000" in str(exc_info.value)
+
+
+def test_finite_horizon_does_not_raise_on_pending_processes():
+    env = Environment()
+
+    def waits_forever(env):
+        yield env.event()
+
+    env.process(waits_forever(env))
+    assert env.run(until=10.0) is None
+    assert env.now == 10.0
+    assert env.live_process_count == 1
+
+
+def test_clean_completion_does_not_deadlock():
+    env = Environment()
+
+    def finishes(env):
+        yield env.timeout(1.0)
+
+    env.process(finishes(env))
+    env.run()
+    assert env.live_process_count == 0
+
+
+def test_step_budget_exceeded_in_event_form():
+    env = Environment()
+
+    def spinner(env):
+        while True:
+            yield env.timeout(1.0)
+
+    def target(env):
+        yield env.timeout(1e9)
+
+    env.process(spinner(env))
+    proc = env.process(target(env))
+    with pytest.raises(StepBudgetExceeded) as exc_info:
+        env.run(proc, max_steps=50)
+    assert exc_info.value.steps == 50
+    assert "50" in str(exc_info.value)
+
+
+def test_step_budget_exceeded_in_horizon_form():
+    env = Environment()
+
+    def spinner(env):
+        while True:
+            yield env.timeout(0.001)
+
+    env.process(spinner(env))
+    with pytest.raises(StepBudgetExceeded):
+        env.run(until=100.0, max_steps=10)
+
+
+def test_step_budget_allows_completion_under_budget():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+        return 42
+
+    proc = env.process(quick(env))
+    assert env.run(proc, max_steps=100) == 42
+
+
+def test_max_steps_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.run(max_steps=0)
+
+
+def test_live_process_count_tracks_termination():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    def slow(env):
+        yield env.timeout(5.0)
+
+    env.process(quick(env))
+    env.process(slow(env))
+    assert env.live_process_count == 2
+    env.run(until=2.0)
+    assert env.live_process_count == 1
+    env.run(until=6.0)
+    assert env.live_process_count == 0
