@@ -14,12 +14,24 @@ Compute time on the critical path = compute-kind durations + compute
 queueing; network time = fetch durations + fetch queueing.  This mirrors
 how WProf's dependency graphs separate computation from network activities
 (§3.1 of the paper).
+
+Two input sources feed the same walk:
+
+* the in-memory :class:`~repro.web.metrics.ActivityRecord` list the
+  browser engine charges as it runs (the original, always-available path);
+* a :mod:`repro.obs` trace — the ``web``-category spans the engine mirrors
+  into the tracer carry the full activity record (id, kind, label, deps)
+  in their args, so :func:`activities_from_trace` can rebuild the DAG
+  from a trace alone.  When :func:`extract_critical_path` is handed a
+  ``trace``, it prefers the trace-derived DAG and falls back to the
+  charge-based records when the trace contains no web spans.  A
+  consistency test asserts both sources agree exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 #: Activity kinds considered compute (main/raster-thread work).
 COMPUTE_KINDS = frozenset(
@@ -62,16 +74,38 @@ class CriticalPath:
         return sum(self.kind_breakdown.values())
 
 
-def extract_critical_path(
-    activities: Sequence["ActivityRecord"], plt: float
-) -> CriticalPath:
-    """Trace the critical path backward from the last-finishing activity.
+def activities_from_trace(trace: Sequence[object]) -> list["ActivityRecord"]:
+    """Rebuild the activity DAG from ``web``-category tracer spans.
 
-    ``plt`` bounds the walk; any lead-in before the first activity (initial
-    DNS/navigation latency) is attributed to network queueing.
+    The browser engine mirrors every :class:`ActivityRecord` into its
+    tracer as a span whose args carry ``id``/``kind``/``label``/``deps``;
+    spans of other categories (kernel, netstack, device) and web spans
+    without an ``id`` are ignored.
     """
-    if not activities:
-        return CriticalPath([], {})
+    from repro.web.metrics import ActivityRecord  # runtime: cycle guard
+
+    activities = []
+    for span in trace:
+        if getattr(span, "cat", None) != "web":
+            continue
+        args = getattr(span, "args", None)
+        if not args or "id" not in args:
+            continue
+        activities.append(ActivityRecord(
+            id=int(args["id"]),
+            kind=str(args.get("kind", "")),
+            label=str(args.get("label", "")),
+            start=float(span.start),  # type: ignore[attr-defined]
+            end=float(span.end),  # type: ignore[attr-defined]
+            deps=tuple(int(dep) for dep in args.get("deps", ())),
+        ))
+    activities.sort(key=lambda activity: activity.id)
+    return activities
+
+
+def _walk_backward(activities: Sequence["ActivityRecord"],
+                   plt: float) -> CriticalPath:
+    """The backward walk shared by both input sources."""
     by_id = {a.id: a for a in activities}
     breakdown: dict[str, float] = {}
 
@@ -98,5 +132,26 @@ def extract_critical_path(
     return CriticalPath(path, breakdown)
 
 
+def extract_critical_path(
+    activities: Sequence["ActivityRecord"], plt: float,
+    *, trace: Optional[Sequence[object]] = None,
+) -> CriticalPath:
+    """Trace the critical path backward from the last-finishing activity.
+
+    ``plt`` bounds the walk; any lead-in before the first activity (initial
+    DNS/navigation latency) is attributed to network queueing.  When a
+    ``trace`` (a sequence of :class:`repro.obs.Span`) is provided, the
+    DAG is rebuilt from its web spans; the charge-based ``activities``
+    remain the fallback when the trace carries none.
+    """
+    if trace is not None:
+        traced = activities_from_trace(trace)
+        if traced:
+            activities = traced
+    if not activities:
+        return CriticalPath([], {})
+    return _walk_backward(activities, plt)
+
+
 __all__ = ["COMPUTE_KINDS", "CriticalPath", "NETWORK_KINDS",
-           "extract_critical_path"]
+           "activities_from_trace", "extract_critical_path"]

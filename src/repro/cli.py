@@ -10,11 +10,14 @@ Usage::
     python -m repro faults               # degraded-condition sweeps
     python -m repro faults --journal out/j --resume   # continue a run
     python -m repro lint --format json   # simlint static analysis
+    python -m repro trace fig2a --out trace.json      # Perfetto trace
 
 Every figure command prints the same rows the corresponding benchmark
 asserts on, at a configurable scale.  ``faults`` runs the fault-injection
 robustness study (see :mod:`repro.faults`); ``lint`` runs the
-determinism / sim-invariant static-analysis pass (see :mod:`repro.lint`).
+determinism / sim-invariant static-analysis pass (see :mod:`repro.lint`);
+``trace`` runs one instrumented scenario and exports a Chrome trace_event
+JSON for Perfetto (see :mod:`repro.core.tracing`).
 
 Error paths exit nonzero with a one-line ``error: ...`` message on
 stderr — no tracebacks.
@@ -341,9 +344,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Likewise for the trace subcommand (--out/--seed/--metrics-out).
+        from repro.core.tracing import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
-        for name in sorted([*_COMMANDS, "lint"]):
+        for name in sorted([*_COMMANDS, "lint", "trace"]):
             print(name)
         return 0
     if args.trials < 1:

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.stats import Summary, summarize
+from repro.obs import MetricsRegistry
 from repro.sim import Interrupt, SimDeadlock, StepBudgetExceeded
 
 T = TypeVar("T")
@@ -117,8 +118,9 @@ TRIAL_TIMEOUT = "timeout"
 TRIAL_DEADLOCK = "deadlock"
 TRIAL_ERROR = "error"
 
-#: Journal schema version.
-JOURNAL_VERSION = 1
+#: Journal schema version.  v2 added ``duration_wall_s``/``steps``/``metrics``;
+#: v1 journals still load (the new fields default).
+JOURNAL_VERSION = 2
 
 
 @dataclass
@@ -131,6 +133,9 @@ class TrialRecord:
     value: Optional[float] = None
     error: str = ""
     attempts: int = 1
+    duration_wall_s: float = 0.0
+    steps: Optional[int] = None
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -140,15 +145,21 @@ class TrialRecord:
         return {
             "trial": self.trial, "seed": self.seed, "status": self.status,
             "value": self.value, "error": self.error, "attempts": self.attempts,
+            "duration_wall_s": self.duration_wall_s, "steps": self.steps,
+            "metrics": self.metrics,
         }
 
     @classmethod
     def from_dict(cls, raw: dict) -> "TrialRecord":
+        steps = raw.get("steps")
         return cls(
             trial=int(raw["trial"]), seed=int(raw["seed"]),
             status=str(raw["status"]), value=raw.get("value"),
             error=str(raw.get("error", "")),
             attempts=int(raw.get("attempts", 1)),
+            duration_wall_s=float(raw.get("duration_wall_s", 0.0)),
+            steps=None if steps is None else int(steps),
+            metrics=raw.get("metrics"),
         )
 
 
@@ -194,7 +205,11 @@ class RobustTrialRunner:
 
     ``trial_fn`` receives the derived seed; if it accepts a second
     parameter it also receives ``step_budget`` to pass into
-    ``Environment.run(..., max_steps=...)``.  Each trial is attempted up to
+    ``Environment.run(..., max_steps=...)``.  If it declares a parameter
+    named ``metrics`` it receives a fresh
+    :class:`~repro.obs.MetricsRegistry` per attempt (pass it to
+    ``repro.obs.install(env, metrics=...)``); the registry's snapshot is
+    attached to the trial's journal record.  Each trial is attempted up to
     ``max_attempts`` times — the first attempt on the canonical seed, each
     retry on a derived reseed (see :func:`derive_retry_seed`).  Failures
     are classified (crash / timeout / deadlock / error) and recorded, never
@@ -278,16 +293,29 @@ class RobustTrialRunner:
         positional = [
             p for p in parameters.values()
             if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            and p.name != "metrics"  # reserved for the registry protocol
         ]
         return len(positional) >= 2 or any(
             p.kind == p.VAR_POSITIONAL for p in parameters.values()
         )
 
-    def _attempt(self, trial_fn: Callable, seed: int,
-                 pass_budget: bool) -> float:
+    @staticmethod
+    def _wants_metrics(trial_fn: Callable) -> bool:
+        try:
+            parameters = inspect.signature(trial_fn).parameters
+        except (TypeError, ValueError):
+            return False
+        parameter = parameters.get("metrics")
+        return parameter is not None and parameter.kind in (
+            parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY,
+        )
+
+    def _attempt(self, trial_fn: Callable, seed: int, pass_budget: bool,
+                 metrics: Optional[MetricsRegistry] = None) -> float:
+        kwargs = {} if metrics is None else {"metrics": metrics}
         if pass_budget:
-            return trial_fn(seed, self.step_budget)
-        return trial_fn(seed)
+            return trial_fn(seed, self.step_budget, **kwargs)
+        return trial_fn(seed, **kwargs)
 
     def run(self, trial_fn: Callable, resume: bool = False) -> RobustRunReport:
         """Execute (or resume) all trials; never raises for a failed trial."""
@@ -301,27 +329,31 @@ class RobustTrialRunner:
             }
             report.resumed = len(records)
         pass_budget = self._wants_step_budget(trial_fn)
+        pass_metrics = self._wants_metrics(trial_fn)
         for trial in range(self.trials):
             if trial in records:
                 continue
-            records[trial] = self._run_trial(trial_fn, trial, pass_budget)
+            records[trial] = self._run_trial(trial_fn, trial, pass_budget,
+                                             pass_metrics)
             self._write_journal(records)
         report.records = [records[k] for k in sorted(records)]
         return report
 
     def _run_trial(self, trial_fn: Callable, trial: int,
-                   pass_budget: bool) -> TrialRecord:
+                   pass_budget: bool, pass_metrics: bool = False) -> TrialRecord:
         record = TrialRecord(trial=trial, seed=derive_seed(self.experiment, trial),
                              status=TRIAL_ERROR)
         for attempt in range(self.max_attempts):
             seed = derive_retry_seed(self.experiment, trial, attempt)
             record.seed = seed
             record.attempts = attempt + 1
+            registry = MetricsRegistry() if pass_metrics else None
             # Host-level watchdog, not sim time: the wall budget guards the
             # *machine* against runaway trials, so it must read a real clock.
             started = time.monotonic()  # simlint: disable=DET001
             try:
-                value = self._attempt(trial_fn, seed, pass_budget)
+                value = self._attempt(trial_fn, seed, pass_budget,
+                                      metrics=registry)
             except Interrupt as fault:
                 record.status = TRIAL_CRASH
                 record.error = f"interrupted: {fault.cause!r}"
@@ -331,6 +363,7 @@ class RobustTrialRunner:
             except StepBudgetExceeded as budget:
                 record.status = TRIAL_TIMEOUT
                 record.error = str(budget)
+                record.steps = budget.steps
             except Exception as error:  # noqa: BLE001 - taxonomy boundary
                 record.status = TRIAL_ERROR
                 record.error = f"{type(error).__name__}: {error}"
@@ -348,7 +381,19 @@ class RobustTrialRunner:
                 record.status = TRIAL_OK
                 record.value = float(value)
                 record.error = ""
+                if registry is not None:
+                    snapshot = registry.snapshot()
+                    record.metrics = snapshot
+                    # obs.install wires sim.steps to the kernel's step loop.
+                    steps = snapshot.get("sim.steps")
+                    if steps is not None:
+                        record.steps = int(steps)
                 return record
+            finally:
+                # Wall duration of the last attempt, success or failure.
+                record.duration_wall_s = (
+                    time.monotonic() - started  # simlint: disable=DET001
+                )
         return record
 
     def summary(self, trial_fn: Callable, resume: bool = False) -> Summary:

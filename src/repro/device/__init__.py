@@ -28,6 +28,7 @@ from repro.device.cpu import CPU, ClusterSpec, CpuTask, DEFAULT_QUANTUM
 from repro.device.energy import DspPowerSpec, EnergyMeter, PowerSpec
 from repro.device.governors import GOVERNOR_CODES, Governor, make_governor
 from repro.device.memory import MemoryModel, MemorySpec
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Environment
 
 
@@ -90,6 +91,8 @@ class Device:
         self.governor.start()
         self._working_set_gb = 0.0
         self._fault_pressure_gb = 0.0
+        self._tracer = tracer_of(env)
+        self._m_evictions = metrics_of(env).counter("device.mem.evictions")
 
     def _apply_memory_multiplier(self) -> None:
         effective = self._working_set_gb + self._fault_pressure_gb
@@ -115,6 +118,10 @@ class Device:
             raise ValueError("fault pressure must be non-negative")
         self._fault_pressure_gb = pressure_gb
         self._apply_memory_multiplier()
+        if pressure_gb > 0:
+            self._m_evictions.inc()
+        self._tracer.instant("device.mem.pressure", "device",
+                             args={"pressure_gb": float(pressure_gb)})
 
     @property
     def fault_pressure_gb(self) -> float:

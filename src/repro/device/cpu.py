@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Environment, Event, Process, Resource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,6 +85,9 @@ class Cluster:
         self._last_change = env.now
         self.pool = Resource(env, capacity=max(online_cores, 1))
         self._observers: list[Callable[["Cluster"], None]] = []
+        self._tracer = tracer_of(env)
+        self._m_transitions = metrics_of(env).counter(
+            "device.dvfs.transitions")
         if online_cores > 0:
             self._reserve_offline(spec.n_cores - online_cores)
 
@@ -151,6 +155,11 @@ class Cluster:
         if index != self._freq_index:
             self._account()
             self._freq_index = index
+            self._m_transitions.inc()
+            self._tracer.instant(
+                "device.dvfs.step", "device",
+                args={"cluster": self.spec.name, "mhz": self.freq_mhz},
+            )
             self._notify()
 
     def set_freq_mhz(self, mhz: float) -> None:
@@ -244,6 +253,7 @@ class CPU:
         for spec, count in zip(specs, reversed(counts)):
             self.clusters.append(Cluster(env, spec, count))
         self._cycle_multiplier = 1.0
+        self._tracer = tracer_of(env)
 
     @property
     def online_cores(self) -> int:
@@ -326,29 +336,36 @@ class CPU:
     _MIN_STALL = 1e-9
 
     def _execute(self, cycles: float, mem_stall: float):
-        remaining = cycles * self._cycle_multiplier
-        stall_left = mem_stall
-        while remaining >= self._MIN_CYCLES or stall_left >= self._MIN_STALL:
-            cluster = self._pick_cluster()
-            with cluster.pool.request() as grant:
-                yield grant
-                cluster.mark_busy(+1)
-                try:
-                    while (remaining >= self._MIN_CYCLES
-                           or stall_left >= self._MIN_STALL):
-                        rate = cluster.rate_hz
-                        compute_left = remaining / rate
-                        slice_time = min(self.quantum, compute_left + stall_left)
-                        yield self.env.timeout(slice_time)
-                        stall_used = min(stall_left, slice_time)
-                        stall_left -= stall_used
-                        remaining = max(
-                            0.0, remaining - (slice_time - stall_used) * rate
-                        )
-                        if cluster.pool.queue and remaining >= self._MIN_CYCLES:
-                            break  # yield the core to a waiter, then requeue
-                finally:
-                    cluster.mark_busy(-1)
+        # Highest-rate obs hook in the codebase: the span carries no args,
+        # so the disabled path is one no-op call with no allocation.
+        with self._tracer.span("device.cpu.task", "device"):
+            remaining = cycles * self._cycle_multiplier
+            stall_left = mem_stall
+            while (remaining >= self._MIN_CYCLES
+                   or stall_left >= self._MIN_STALL):
+                cluster = self._pick_cluster()
+                with cluster.pool.request() as grant:
+                    yield grant
+                    cluster.mark_busy(+1)
+                    try:
+                        while (remaining >= self._MIN_CYCLES
+                               or stall_left >= self._MIN_STALL):
+                            rate = cluster.rate_hz
+                            compute_left = remaining / rate
+                            slice_time = min(self.quantum,
+                                             compute_left + stall_left)
+                            yield self.env.timeout(slice_time)
+                            stall_used = min(stall_left, slice_time)
+                            stall_left -= stall_used
+                            remaining = max(
+                                0.0,
+                                remaining - (slice_time - stall_used) * rate
+                            )
+                            if (cluster.pool.queue
+                                    and remaining >= self._MIN_CYCLES):
+                                break  # yield the core to a waiter, requeue
+                    finally:
+                        cluster.mark_busy(-1)
 
     def busy_time(self) -> float:
         """Integrated core-busy seconds across all clusters."""

@@ -24,6 +24,7 @@ from typing import Optional, Sequence, Tuple, Union
 from repro.core.background import make_rng
 from repro.device import Device
 from repro.netstack import Link
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Environment, Process
 
 
@@ -62,11 +63,19 @@ class FaultTrace:
 
     def record(self, env: Environment, injector: str, action: str,
                detail: str = "") -> None:
-        """Append one transition stamped with the current simulated time."""
+        """Append one transition stamped with the current simulated time.
+
+        Every injection is also mirrored into the environment's tracer
+        (as a ``faults``-category instant) and counted in
+        ``faults.injected`` when observability is installed.
+        """
         self.events.append(
             FaultEvent(t=round(env.now, 9), injector=injector,
                        action=action, detail=detail)
         )
+        tracer_of(env).instant(f"fault.{injector}", "faults",
+                               args={"action": action, "detail": detail})
+        metrics_of(env).counter("faults.injected").inc()
 
     def to_jsonl(self) -> str:
         """Canonical serialization — byte-identical across replays."""

@@ -131,6 +131,7 @@ from repro.lint.rules.determinism import (  # noqa: E402
     WallClockRule,
 )
 from repro.lint.rules.faults import SeededFaultInjectionRule  # noqa: E402
+from repro.lint.rules.obs import RawSpanPairRule  # noqa: E402
 from repro.lint.rules.simapi import (  # noqa: E402
     BlockingCallRule,
     KernelStateMutationRule,
@@ -151,6 +152,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     MixedUnitArithmeticRule(),
     CatalogSchemaRule(),
     SeededFaultInjectionRule(),
+    RawSpanPairRule(),
 )
 
 

@@ -1,0 +1,57 @@
+"""Observability rules (OBS5xx).
+
+Tracing is only trustworthy when spans are balanced: an exception between
+a raw ``begin_span`` and its ``end_span`` leaves a half-open span that
+either vanishes from the export or reports a bogus duration.  The
+context-manager API (``with tracer.span(...)``) closes the span on every
+exit path and annotates it with the exception type, so raw pairs are
+flagged everywhere outside the tracer's own implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule, call_name
+
+_RAW_PAIR = frozenset({"begin_span", "end_span"})
+
+
+class RawSpanPairRule(Rule):
+    """OBS501: raw begin_span/end_span outside the context-manager API."""
+
+    id = "OBS501"
+    severity = Severity.WARNING
+    title = "raw begin_span/end_span instead of the span() context manager"
+    rationale = (
+        "A raw begin_span/end_span pair is not exception-safe: any raise "
+        "between the two leaves a dangling open span, so the exported trace "
+        "silently drops it or reports a wrong duration. `with "
+        "tracer.span(name, cat):` closes the span on every exit path and "
+        "records the exception type in the span args."
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        # The tracer implements the pairing; everyone else must use span().
+        return "/obs/" not in context.norm_path
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            if tail not in _RAW_PAIR:
+                continue
+            yield self.finding(
+                context, node,
+                f"raw {tail}() call; use `with tracer.span(name, cat):` so "
+                f"the span is closed on every exit path",
+            )
+
+
+__all__ = ["RawSpanPairRule"]

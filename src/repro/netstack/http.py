@@ -25,6 +25,7 @@ from collections import deque
 from repro.netstack.hoststack import HostStack
 from repro.netstack.link import Link
 from repro.netstack.tcp import TcpConnection
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Environment, Event
 
 #: Bytes of request line + headers for a typical GET.
@@ -91,6 +92,11 @@ class HttpClient:
         self.tls = tls
         self._pools: dict[str, _Pool] = {}
         self.responses: list[HttpResponse] = []
+        self._tracer = tracer_of(env)
+        metrics = metrics_of(env)
+        self._m_requests = metrics.counter("net.http.requests")
+        self._m_dns = metrics.counter("net.http.dns_lookups")
+        self._m_fetch_ms = metrics.histogram("web.fetch_ms")
 
     def _pool(self, origin: Origin) -> _Pool:
         if origin.host not in self._pools:
@@ -119,23 +125,27 @@ class HttpClient:
     def fetch(self, origin: Origin, url: str, body_bytes: float):
         """Process: GET ``url``; returns an :class:`HttpResponse`."""
         started = self.env.now
-        pool = self._pool(origin)
-        if not pool.dns_done:
-            pool.dns_done = True
-            yield self.env.timeout(DNS_LOOKUP_RTTS * self.link.spec.rtt_s)
-        result = yield from self._acquire(pool)
-        conn, fresh = result
-        try:
-            if conn is None:
-                conn = TcpConnection(self.env, self.link, self.stack, tls=self.tls)
-                yield from conn.connect()
-            yield from conn.request(
-                REQUEST_OVERHEAD_BYTES,
-                RESPONSE_OVERHEAD_BYTES + body_bytes,
-                server_think_s=origin.server_think_s,
-            )
-        finally:
-            self._release(pool, conn)
+        with self._tracer.span("net.http.fetch", "net",
+                               {"url": url, "bytes": float(body_bytes)}):
+            pool = self._pool(origin)
+            if not pool.dns_done:
+                pool.dns_done = True
+                self._m_dns.inc()
+                yield self.env.timeout(DNS_LOOKUP_RTTS * self.link.spec.rtt_s)
+            result = yield from self._acquire(pool)
+            conn, fresh = result
+            try:
+                if conn is None:
+                    conn = TcpConnection(self.env, self.link, self.stack,
+                                         tls=self.tls)
+                    yield from conn.connect()
+                yield from conn.request(
+                    REQUEST_OVERHEAD_BYTES,
+                    RESPONSE_OVERHEAD_BYTES + body_bytes,
+                    server_think_s=origin.server_think_s,
+                )
+            finally:
+                self._release(pool, conn)
         response = HttpResponse(
             url=url,
             body_bytes=body_bytes,
@@ -144,6 +154,8 @@ class HttpClient:
             from_new_connection=fresh,
         )
         self.responses.append(response)
+        self._m_requests.inc()
+        self._m_fetch_ms.observe(response.elapsed * 1000.0)
         return response
 
 

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Environment, Event, Resource
 
 
@@ -63,6 +64,13 @@ class Link:
         self.spec = spec
         self._line = Resource(env, capacity=1)
         self._bytes_carried = 0.0
+        # Observability handles, captured once (no-op when not installed).
+        self._tracer = tracer_of(env)
+        metrics = metrics_of(env)
+        self._m_tx_bytes = metrics.counter("net.link.tx_bytes")
+        self._m_transfers = metrics.counter("net.link.transfers")
+        self._m_retx_bytes = metrics.counter("net.link.retx_bytes")
+        self._m_outage_blocks = metrics.counter("net.link.outage_blocks")
         # Mutable degradation overlay (driven by fault injectors).
         self._loss = spec.loss
         self._rate_factor = 1.0
@@ -148,14 +156,26 @@ class Link:
             raise ValueError(
                 f"transmit needs a positive byte count, got {nbytes!r}"
             )
-        with self._line.request() as grant:
-            yield grant
-            while self._restore_event is not None:
-                yield self._restore_event
-            if self._extra_delay_s > 0:
-                yield self.env.timeout(self._extra_delay_s)
-            yield self.env.timeout(self.effective_serialization_time(nbytes))
-            self._bytes_carried += nbytes
+        with self._tracer.span("net.link.transmit", "net",
+                               {"nbytes": float(nbytes)}):
+            with self._line.request() as grant:
+                yield grant
+                if self._restore_event is not None:
+                    self._m_outage_blocks.inc()
+                    self._tracer.instant("net.link.blocked", "net")
+                while self._restore_event is not None:
+                    yield self._restore_event
+                if self._extra_delay_s > 0:
+                    yield self.env.timeout(self._extra_delay_s)
+                yield self.env.timeout(
+                    self.effective_serialization_time(nbytes))
+                self._bytes_carried += nbytes
+                self._m_tx_bytes.inc(float(nbytes))
+                self._m_transfers.inc()
+                if self._loss > 0:
+                    # Wire bytes beyond the payload are retransmissions.
+                    self._m_retx_bytes.inc(
+                        float(nbytes) * self._loss / (1.0 - self._loss))
 
 
 __all__ = ["Link", "LinkSpec"]

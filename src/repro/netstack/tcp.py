@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.netstack.hoststack import MSS, HostStack
 from repro.netstack.link import Link
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Environment
 
 #: Initial congestion window (RFC 6928).
@@ -41,6 +42,10 @@ class TcpConnection:
         self.connected = False
         self.bytes_downloaded = 0.0
         self.bytes_uploaded = 0.0
+        self._tracer = tracer_of(env)
+        metrics = metrics_of(env)
+        self._m_connects = metrics.counter("net.tcp.connects")
+        self._m_rounds = metrics.counter("net.tcp.rounds")
 
     # -- connection management ------------------------------------------
 
@@ -49,17 +54,19 @@ class TcpConnection:
         plus a TLS 1.2 handshake (two more RTTs + crypto) when enabled."""
         if self.connected:
             return
-        yield self.env.timeout(self.link.spec.rtt_s)
-        # SYN out, SYN/ACK in, ACK out.
-        yield self.env.process(self.stack.process_tx(1))
-        yield self.env.process(self.stack.process_rx(1))
-        yield self.env.process(self.stack.process_tx(1))
-        if self.tls:
-            # ClientHello → ServerHello/cert → key exchange → Finished.
-            yield self.env.timeout(2 * self.link.spec.rtt_s)
-            yield self.env.process(self.stack.process_rx(4 * 1448))  # cert chain
-            yield self.env.process(self.stack.tls_handshake())
-        self.connected = True
+        with self._tracer.span("net.tcp.connect", "net", {"tls": self.tls}):
+            yield self.env.timeout(self.link.spec.rtt_s)
+            # SYN out, SYN/ACK in, ACK out.
+            yield self.env.process(self.stack.process_tx(1))
+            yield self.env.process(self.stack.process_rx(1))
+            yield self.env.process(self.stack.process_tx(1))
+            if self.tls:
+                # ClientHello → ServerHello/cert → key exchange → Finished.
+                yield self.env.timeout(2 * self.link.spec.rtt_s)
+                yield self.env.process(self.stack.process_rx(4 * 1448))  # cert chain
+                yield self.env.process(self.stack.tls_handshake())
+            self.connected = True
+            self._m_connects.inc()
 
     # -- transfers --------------------------------------------------------
 
@@ -90,20 +97,24 @@ class TcpConnection:
         pipe = max(self.link.spec.bdp_bytes, float(INITIAL_WINDOW_BYTES))
         remaining = float(nbytes)
         first_burst = first_byte_latency
-        while remaining > 0:
-            burst = min(remaining, self.cwnd, float(BURST_CAP_BYTES))
-            if first_burst:
-                # Server→client propagation of the first data segment.
-                yield self.env.timeout(self.link.spec.rtt_s / 2)
-                first_burst = False
-            elif self.cwnd < pipe:
-                # Ack-clocked stall: the next round waits a full RTT.
-                yield self.env.timeout(self.link.spec.rtt_s)
-            link_done = self.env.process(self.link.transmit(burst))
-            cpu_done = self.env.process(self.stack.process_rx(burst, self.tls))
-            yield self.env.all_of([link_done, cpu_done])
-            remaining -= burst
-            self.cwnd = min(self.cwnd * 2.0, float(MAX_WINDOW_BYTES))
+        with self._tracer.span("net.tcp.receive", "net",
+                               {"nbytes": float(nbytes)}):
+            while remaining > 0:
+                burst = min(remaining, self.cwnd, float(BURST_CAP_BYTES))
+                if first_burst:
+                    # Server→client propagation of the first data segment.
+                    yield self.env.timeout(self.link.spec.rtt_s / 2)
+                    first_burst = False
+                elif self.cwnd < pipe:
+                    # Ack-clocked stall: the next round waits a full RTT.
+                    self._m_rounds.inc()
+                    yield self.env.timeout(self.link.spec.rtt_s)
+                link_done = self.env.process(self.link.transmit(burst))
+                cpu_done = self.env.process(
+                    self.stack.process_rx(burst, self.tls))
+                yield self.env.all_of([link_done, cpu_done])
+                remaining -= burst
+                self.cwnd = min(self.cwnd * 2.0, float(MAX_WINDOW_BYTES))
         self.bytes_downloaded += nbytes
 
     def request(self, upload_bytes: float, download_bytes: float,

@@ -1,0 +1,129 @@
+"""Exporters: Chrome ``trace_event`` JSON, metrics JSON, text summary.
+
+The Chrome format (loadable in Perfetto or ``chrome://tracing``) maps
+naturally onto the tracer's event shapes:
+
+* :class:`~repro.obs.tracer.Span` → a ``ph: "X"`` *complete* event with
+  ``ts``/``dur`` in microseconds of simulated time;
+* :class:`~repro.obs.tracer.Instant` → a ``ph: "i"`` *instant* event;
+* each category gets its own thread row (``tid`` + ``thread_name``
+  metadata) so the sim kernel, netstack, web/video models, and device
+  land on separate swimlanes.
+
+Serialization is canonical — sorted keys, no whitespace, deterministic
+float reprs of simulated quantities — so the exported bytes of a seeded
+trial are part of the replay contract (tested byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Synthetic process id for the single simulated "process".
+TRACE_PID = 1
+#: Microseconds per simulated second (Chrome's ``ts`` unit).
+_US = 1e6
+
+
+def _ts(seconds: float) -> float:
+    """Simulated seconds → trace microseconds, stable to sub-ns."""
+    return round(seconds * _US, 3)
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` array: metadata rows + spans + instants."""
+    categories = tracer.categories()
+    tid_of = {cat: index + 1 for index, cat in enumerate(categories)}
+    events: list[dict] = [{
+        "args": {"name": "repro simulation"},
+        "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,
+    }]
+    for cat in categories:
+        events.append({
+            "args": {"name": cat},
+            "name": "thread_name", "ph": "M", "pid": TRACE_PID,
+            "tid": tid_of[cat],
+        })
+    data: list[dict] = []
+    for span in tracer.spans:
+        event = {
+            "cat": span.cat, "dur": _ts(span.duration), "name": span.name,
+            "ph": "X", "pid": TRACE_PID, "tid": tid_of[span.cat],
+            "ts": _ts(span.start),
+        }
+        if span.args:
+            event["args"] = span.args
+        data.append(event)
+    for inst in tracer.instants:
+        event = {
+            "cat": inst.cat, "name": inst.name, "ph": "i", "pid": TRACE_PID,
+            "s": "t", "tid": tid_of[inst.cat], "ts": _ts(inst.t),
+        }
+        if inst.args:
+            event["args"] = inst.args
+        data.append(event)
+    # Stable sort: ties keep recording order, which is itself deterministic.
+    data.sort(key=lambda e: (e["ts"], e["tid"]))
+    return events + data
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """Canonical Chrome ``trace_event`` JSON document."""
+    payload = {
+        "displayTimeUnit": "ms",
+        "metadata": {"clock": "simulated-seconds", "tool": "repro.obs"},
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace to ``path``; returns the path."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(chrome_trace_json(tracer), encoding="utf-8")
+    return target
+
+
+def metrics_json(metrics: MetricsRegistry) -> str:
+    """Canonical flat-JSON serialization of a metrics snapshot."""
+    return json.dumps(metrics.snapshot(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def text_summary(tracer: Tracer, metrics: MetricsRegistry) -> str:
+    """Human-readable one-screen digest of a traced trial."""
+    lines = ["trace summary:"]
+    counts = tracer.counts_by_category()
+    if counts:
+        per_cat = ", ".join(f"{cat}={n}" for cat, n in counts.items())
+        lines.append(f"  events: {len(tracer)} ({per_cat})")
+    else:
+        lines.append("  events: 0")
+    snapshot = metrics.snapshot()
+    if snapshot:
+        lines.append(f"  metrics: {len(snapshot)}")
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                lines.append(f"    {name}: n={value['count']} "
+                             f"mean={mean:.3f}")
+            else:
+                lines.append(f"    {name}: {value:g}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TRACE_PID",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "metrics_json",
+    "text_summary",
+    "write_chrome_trace",
+]

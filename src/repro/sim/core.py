@@ -30,16 +30,19 @@ class SimDeadlock(SimulationError):
     """The event list drained while processes were still waiting.
 
     Nothing can ever fire again, so whatever the caller was waiting for is
-    unreachable.  Carries the simulated time of detection (``now``) and the
-    names of up to five still-alive process generators (``live``) so trial
-    harnesses can journal *where* a run got stuck.
+    unreachable.  Carries the simulated time of detection (``now``), the
+    names of up to five still-alive process generators (``live``), and a
+    parallel ``waiting`` tuple describing each stuck process's current
+    target event, so trial harnesses can journal *where* — and on *what*
+    — a run got stuck.
     """
 
     def __init__(self, message: str, *, now: float = 0.0,
-                 live: tuple = ()):
+                 live: tuple = (), waiting: tuple = ()):
         super().__init__(message)
         self.now = now
         self.live = tuple(live)
+        self.waiting = tuple(waiting)
 
 
 class StepBudgetExceeded(SimulationError):
@@ -125,6 +128,8 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
+        if self.env.metrics is not None:
+            self.env.metrics.counter("sim.event_failures").inc()
         self.env.schedule(self)
         return self
 
@@ -181,6 +186,7 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._started_at = env.now
         self._pid = env._register_process(self)
         Initialize(env, self)
 
@@ -210,11 +216,32 @@ class Process(Event):
             except ValueError:
                 pass
             self._target = None
+        if self.env.tracer is not None:
+            self.env.tracer.instant(
+                "sim.interrupt", "sim",
+                args={"pid": self._pid, "process": self._name()},
+            )
         failure = Event(self.env)
         failure._ok = False
         failure._value = Interrupt(cause)
         failure.callbacks.append(self._resume)
         self.env.schedule(failure, priority=PRIORITY_URGENT)
+
+    def _name(self) -> str:
+        """Address-free display name (the generator function's name)."""
+        return getattr(self._generator, "__name__", "process")
+
+    def _trace_exit(self, ok: bool) -> None:
+        tracer = self.env.tracer
+        name = self._name()
+        tracer.complete(f"process:{name}", "sim", self._started_at,
+                        args={"pid": self._pid, "ok": ok})
+        if not ok:
+            tracer.instant(
+                "sim.process.crash", "sim",
+                args={"pid": self._pid, "process": name,
+                      "error": type(self._value).__name__},
+            )
 
     def _resume(self, event: Event) -> None:
         self.env._active_process = self
@@ -230,6 +257,8 @@ class Process(Event):
                 self._value = stop.value
                 self.env._unregister_process(self)
                 self.env.schedule(self)
+                if self.env.tracer is not None:
+                    self._trace_exit(ok=True)
                 break
             except BaseException as error:
                 self._target = None
@@ -237,6 +266,8 @@ class Process(Event):
                 self._value = error
                 self.env._unregister_process(self)
                 self.env.schedule(self)
+                if self.env.tracer is not None:
+                    self._trace_exit(ok=False)
                 if not self.callbacks:
                     # Nobody is waiting on this process: surface the crash.
                     self.env._crashed.append((self, error))
@@ -339,11 +370,23 @@ class Environment:
         self._crashed: list[tuple[Process, BaseException]] = []
         self._live: dict[int, Process] = {}
         self._next_pid = 0
+        self._steps_total = 0
+        # Observability attachment points.  ``repro.obs.install`` sets
+        # these; the kernel never imports repro.obs — a ``None`` tracer
+        # means tracing is off and costs one attribute check per hook.
+        self.tracer: Optional[Any] = None
+        self.metrics: Optional[Any] = None
+        self._steps_counter: Optional[Any] = None
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def steps_processed(self) -> int:
+        """Total events processed by :meth:`step` since creation."""
+        return self._steps_total
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -373,14 +416,37 @@ class Environment:
                 break
         return tuple(names)
 
+    @staticmethod
+    def _describe_target(event: Optional[Event]) -> str:
+        """Address-free description of a process's wait target."""
+        if event is None:
+            return "nothing (ready to run)"
+        if isinstance(event, Timeout):
+            return repr(event)
+        if isinstance(event, Process):
+            return f"<Process {event._name()}>"
+        return f"<{type(event).__name__}>"
+
+    def _live_process_waits(self, limit: int = 5) -> tuple:
+        """``"name waiting on <target>"`` for up to ``limit`` live processes."""
+        waits = []
+        for pid in sorted(self._live):
+            process = self._live[pid]
+            waits.append(f"{process._name()} waiting on "
+                         f"{self._describe_target(process.target)}")
+            if len(waits) >= limit:
+                break
+        return tuple(waits)
+
     def _deadlock(self, waiting_for: str) -> SimDeadlock:
         live = self._live_process_names()
-        detail = f"; live processes: {', '.join(live)}" if live else ""
+        waiting = self._live_process_waits()
+        detail = f"; live processes: {'; '.join(waiting)}" if waiting else ""
         return SimDeadlock(
             f"deadlock at t={self._now:.6f}: event list drained while "
             f"{len(self._live)} process(es) were still alive and "
             f"{waiting_for} had not fired{detail}",
-            now=self._now, live=live,
+            now=self._now, live=live, waiting=waiting,
         )
 
     def schedule(
@@ -422,6 +488,9 @@ class Environment:
         if not self._queue:
             raise SimulationError("no more events")
         self._now, _, _, event = heapq.heappop(self._queue)
+        self._steps_total += 1
+        if self._steps_counter is not None:
+            self._steps_counter.inc()
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.device import Device
 from repro.netstack import HostStack, Link, TcpConnection
+from repro.obs import metrics_of, tracer_of
 from repro.sim import Container, Environment
 from repro.video.abr import DeviceAwareAbr
 from repro.video.spec import Format, VideoSpec
@@ -102,6 +103,12 @@ class StreamingPlayer:
         self.stack = stack or HostStack(env, device)
         self._buffer = Container(env, capacity=config.read_ahead_s + video.segment_s)
         self._download_done = False
+        self._tracer = tracer_of(env)
+        metrics = metrics_of(env)
+        self._m_stalls = metrics.counter("video.stalls")
+        self._m_stall_s = metrics.counter("video.stall_s")
+        self._m_segments = metrics.counter("video.segments")
+        self._m_buffer = metrics.gauge("video.buffer_s")
 
     # -- internals -------------------------------------------------------
 
@@ -127,6 +134,8 @@ class StreamingPlayer:
             first = False
             result.bytes_downloaded += seg_bytes
             yield self._buffer.put(self.video.segment_s)
+            self._m_segments.inc()
+            self._m_buffer.set(self._buffer.level)
             remaining -= 1
         self._download_done = True
 
@@ -169,7 +178,12 @@ class StreamingPlayer:
         """Process: play the whole clip; returns a :class:`StreamingResult`."""
         env = self.env
         config = self.config
+        session_start = env.now
         fmt = self.abr.select(self.device)
+        self._tracer.instant(
+            "video.abr.select", "video",
+            args={"format": fmt.name, "bitrate_bps": fmt.bitrate_bps},
+        )
         result = StreamingResult(format=fmt)
         working_set = (0.28
                        + config.read_ahead_s * fmt.bytes_per_second * 1.2e-9
@@ -192,6 +206,7 @@ class StreamingPlayer:
         yield from self._tick(fmt)
         result.startup_latency_s = env.now
         playback_started = env.now
+        self._tracer.complete("video.startup", "video", session_start)
 
         content_left = self.video.duration_s - config.startup_buffer_s - 1.0
         while content_left > 0:
@@ -199,6 +214,13 @@ class StreamingPlayer:
             before = env.now
             yield self._buffer.get(step)
             waited = env.now - before
+            if waited > 1e-9:
+                # Buffer ran dry: the wait is a rebuffering interval.
+                self._m_stalls.inc()
+                self._m_stall_s.inc(waited)
+                self._tracer.complete("video.rebuffer", "video", before,
+                                      args={"waited_s": waited})
+            self._m_buffer.set(self._buffer.level)
             yield from self._tick(fmt)
             # Wall time beyond the content consumed is a stall: either the
             # buffer ran dry (waited) or the pipeline fell behind realtime.

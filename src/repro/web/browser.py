@@ -40,6 +40,7 @@ from repro.analysis.critpath import extract_critical_path
 from repro.device import Device
 from repro.jsruntime import CpuCostModel, Script
 from repro.netstack import HostStack, HttpClient, Link, Origin
+from repro.obs import tracer_of
 from repro.sim import Environment, Event, Resource
 from repro.web.costmodel import BrowserCostModel
 from repro.web.metrics import ActivityRecord, PageLoadResult
@@ -91,6 +92,7 @@ class BrowserEngine:
         self.executor = executor or CpuScriptExecutor()
         self._main = Resource(env, capacity=1)
         self._raster = Resource(env, capacity=max(1, raster_threads))
+        self._tracer = tracer_of(env)
         self._paint_done: Event = env.event()
         self._next_id = 0
         self.result: PageLoadResult = PageLoadResult(url="", category="")
@@ -107,6 +109,14 @@ class BrowserEngine:
             end=self.env.now, deps=tuple(deps),
         )
         self.result.activities.append(record)
+        if self._tracer.enabled:
+            # Mirror the full activity record into the trace so the
+            # critical-path analyzer can rebuild the DAG from spans alone.
+            self._tracer.complete(
+                f"web.{kind}", "web", start,
+                args={"id": act_id, "kind": kind, "label": label,
+                      "deps": list(record.deps)},
+            )
         return act_id
 
     def _account_main(self, kind: str, start: float) -> None:
@@ -284,6 +294,9 @@ class BrowserEngine:
         env = self.env
         self.device.set_working_set(page.working_set_gb)
         self.result = PageLoadResult(url=page.url, category=page.category)
+        # Spans recorded from here on belong to this load (the engine can
+        # load several pages in one environment).
+        span_mark = len(self._tracer.spans) if self._tracer.enabled else 0
         self._paint_done = env.event()
         fetched: dict[int, Event] = {o.index: env.event() for o in page.objects}
         executed: dict[int, Event] = {
@@ -338,7 +351,10 @@ class BrowserEngine:
         result = self.result
         result.plt = env.now
         result.energy_j = self.device.energy.energy_j
-        path = extract_critical_path(result.activities, result.plt)
+        trace = (self._tracer.spans[span_mark:]
+                 if self._tracer.enabled else None)
+        path = extract_critical_path(result.activities, result.plt,
+                                     trace=trace)
         result.compute_time = path.compute_time
         result.network_time = path.network_time
         result.cp_kind_breakdown = path.kind_breakdown

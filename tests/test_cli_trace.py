@@ -1,0 +1,130 @@
+"""CLI contract of ``python -m repro trace`` and runner metric capture."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.experiments import RobustTrialRunner, TrialRecord
+from repro.obs import MetricsRegistry, install
+from repro.sim import Environment
+
+
+# -- trace subcommand -------------------------------------------------------
+
+def test_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "fig2a", "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "trace summary:" in stdout
+    assert "plt_s=" in stdout
+    assert f"[wrote {out}]" in stdout
+    payload = json.loads(out.read_text())
+    events = payload["traceEvents"]
+    assert events
+    lanes = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert {"sim", "net", "web", "device"} <= lanes
+
+
+def test_trace_output_is_byte_identical_for_same_seed(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main(["trace", "fig2a", "--out", str(first), "--seed", "7"]) == 0
+    assert main(["trace", "fig2a", "--out", str(second), "--seed", "7"]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_trace_metrics_out_writes_snapshot(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    assert main(["trace", "fig6", "--out", str(out),
+                 "--metrics-out", str(metrics)]) == 0
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["sim.steps"] > 0
+    assert snapshot["net.link.tx_bytes"] > 0
+
+
+def test_trace_rejects_unknown_trial(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "nope", "--out", str(tmp_path / "t.json")])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_list_includes_trace(capsys):
+    assert main(["list"]) == 0
+    assert "trace" in capsys.readouterr().out.split()
+
+
+# -- RobustTrialRunner metric/steps capture ---------------------------------
+
+def _sim_trial(seed: int, metrics: MetricsRegistry) -> float:
+    env = Environment()
+    install(env, metrics=metrics)
+
+    def proc():
+        yield env.timeout(2.0)
+        yield env.timeout(3.0)
+
+    env.run(env.process(proc()))
+    return env.now
+
+
+def test_runner_passes_registry_and_journals_snapshot(tmp_path):
+    journal = tmp_path / "journal.json"
+    runner = RobustTrialRunner(trials=2, experiment="obs",
+                               journal_path=journal)
+    report = runner.run(_sim_trial)
+    assert report.failures == 0
+    for record in report.records:
+        assert record.metrics is not None
+        assert record.metrics["sim.steps"] == 4.0
+        assert record.steps == 4
+        assert record.duration_wall_s >= 0.0
+    payload = json.loads(journal.read_text())
+    assert payload["version"] == 2
+    row = payload["records"][0]
+    assert row["steps"] == 4
+    assert row["metrics"]["sim.steps"] == 4.0
+    assert row["duration_wall_s"] >= 0.0
+
+
+def test_runner_records_steps_on_budget_exhaustion():
+    def runaway(seed: int, step_budget) -> float:
+        env = Environment()
+
+        def spin():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(spin())
+        env.run(until=1e9, max_steps=step_budget)
+        return env.now
+
+    runner = RobustTrialRunner(trials=1, experiment="budget",
+                               step_budget=25, max_attempts=1)
+    (record,) = runner.run(runaway).records
+    assert record.status == "timeout"
+    assert record.steps == 25
+
+
+def test_trial_fn_without_metrics_param_gets_none_fields():
+    runner = RobustTrialRunner(trials=1, experiment="plain")
+    (record,) = runner.run(lambda seed: 1.0).records
+    assert record.ok
+    assert record.metrics is None and record.steps is None
+
+
+def test_trial_record_round_trips_new_fields():
+    record = TrialRecord(trial=1, seed=9, status="ok", value=2.0,
+                         duration_wall_s=0.25, steps=100,
+                         metrics={"sim.steps": 100.0})
+    assert TrialRecord.from_dict(record.as_dict()) == record
+    # v1 journal rows (without the new fields) still load with defaults.
+    legacy = TrialRecord.from_dict(
+        {"trial": 0, "seed": 1, "status": "ok", "value": 1.0})
+    assert legacy.duration_wall_s == 0.0
+    assert legacy.steps is None and legacy.metrics is None

@@ -86,6 +86,13 @@ FLAGGED = {
             cost_usd=700,
         )
         """,
+    "OBS501": """
+        def traced_fetch(tracer, fetch):
+            handle = tracer.begin_span("net.fetch", "net")
+            body = fetch()
+            tracer.end_span(handle)
+            return body
+        """,
 }
 
 CLEAN = {
@@ -139,6 +146,11 @@ CLEAN = {
             cost_usd=700,
         )
         """,
+    "OBS501": """
+        def traced_fetch(tracer, fetch):
+            with tracer.span("net.fetch", "net"):
+                return fetch()
+        """,
 }
 
 # DET005 and FLT401 are path/import-scoped; exercised separately below.
@@ -170,6 +182,13 @@ def test_det005_flags_inline_rng_only_in_studies(tmp_path):
     elsewhere = lint_source(tmp_path, source, select=["DET005"],
                             name="workloads/fake.py")
     assert elsewhere.findings == []
+
+
+def test_obs501_exempts_the_obs_package(tmp_path):
+    source = FLAGGED["OBS501"]
+    report = lint_source(tmp_path, source, select=["OBS501"],
+                         name="repro/obs/tracer.py")
+    assert report.findings == []
 
 
 def test_flt401_flags_injector_without_rng_in_faults_package(tmp_path):

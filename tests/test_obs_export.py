@@ -1,0 +1,146 @@
+"""Trace export: Chrome trace_event shape, determinism, zero overhead."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.tracing import TRACEABLE, run_traced_trial
+from repro.obs import (
+    Tracer,
+    chrome_trace_events,
+    chrome_trace_json,
+    install,
+    metrics_json,
+    text_summary,
+    tracer_of,
+)
+from repro.sim import Environment
+from repro.web import BrowserEngine
+from repro.device import Device, NEXUS4
+from repro.netstack import Link, LinkSpec
+from repro.workloads import generate_corpus
+
+
+# -- Chrome trace_event shape ----------------------------------------------
+
+def test_chrome_events_have_metadata_swimlanes_and_sorted_data():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.complete("b.span", "net", start=1.0, end=2.0, args={"k": 1})
+    tracer.complete("a.span", "sim", start=0.0, end=0.5)
+    tracer.instant("c.point", "net")
+    events = chrome_trace_events(tracer)
+
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta[0] == {"args": {"name": "repro simulation"},
+                       "name": "process_name", "ph": "M", "pid": 1, "tid": 0}
+    # One thread row per category, sorted, tids 1..n.
+    assert [(e["args"]["name"], e["tid"]) for e in meta[1:]] == [
+        ("net", 1), ("sim", 2)]
+
+    data = [e for e in events if e["ph"] != "M"]
+    assert [e["ts"] for e in data] == sorted(e["ts"] for e in data)
+    span = next(e for e in data if e["name"] == "b.span")
+    assert (span["ph"], span["ts"], span["dur"]) == ("X", 1e6, 1e6)
+    assert span["args"] == {"k": 1}
+    inst = next(e for e in data if e["name"] == "c.point")
+    assert (inst["ph"], inst["s"], inst["ts"]) == ("i", "t", 0.0)
+
+
+def test_chrome_trace_json_is_valid_and_canonical():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.instant("x.y", "sim")
+    text = chrome_trace_json(tracer)
+    payload = json.loads(text)
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["metadata"]["clock"] == "simulated-seconds"
+    assert len(payload["traceEvents"]) == 3  # process + thread meta + instant
+    assert " " not in text.split('"traceEvents"')[0]  # compact separators
+
+
+def test_text_summary_lists_categories_and_metrics():
+    traced = run_traced_trial("fig2a", seed=0)
+    summary = text_summary(traced.tracer, traced.metrics)
+    assert summary.startswith("trace summary:")
+    assert "events:" in summary and "metrics:" in summary
+    assert "sim.steps" in summary and "web.fetch_ms" in summary
+
+
+# -- determinism across same-seed runs -------------------------------------
+
+def test_traced_trial_exports_are_byte_identical_across_runs():
+    first = run_traced_trial("fig2a", seed=3)
+    second = run_traced_trial("fig2a", seed=3)
+    assert chrome_trace_json(first.tracer) == chrome_trace_json(second.tracer)
+    assert metrics_json(first.metrics) == metrics_json(second.metrics)
+    assert first.value == second.value
+    assert first.steps == second.steps
+
+
+def test_different_seeds_produce_different_traces():
+    a = run_traced_trial("fig2a", seed=0)
+    b = run_traced_trial("fig2a", seed=1)
+    assert chrome_trace_json(a.tracer) != chrome_trace_json(b.tracer)
+
+
+def test_fig2a_trace_covers_at_least_four_subsystems():
+    traced = run_traced_trial("fig2a", seed=0)
+    assert {"sim", "net", "web", "device"} <= set(traced.tracer.categories())
+    # And the headline instruments all reported.
+    snapshot = traced.metrics.snapshot()
+    for name in ("sim.steps", "net.link.tx_bytes", "net.http.requests",
+                 "web.fetch_ms", "device.dvfs.transitions"):
+        assert name in snapshot, name
+    assert snapshot["sim.steps"] == traced.steps > 0
+
+
+def test_every_registered_traceable_trial_runs_and_traces():
+    for name in TRACEABLE:
+        traced = run_traced_trial(name, seed=0)
+        assert len(traced.tracer) > 0, name
+        assert traced.sim_time_s > 0.0, name
+        assert traced.metric_name
+
+
+# -- zero overhead when disabled --------------------------------------------
+
+def _load_once(with_obs: bool):
+    env = Environment()
+    if with_obs:
+        install(env)
+    device = Device(env, NEXUS4, governor="OD")
+    browser = BrowserEngine(env, device, Link(env, LinkSpec()))
+    page = generate_corpus(1)[0]
+    result = env.run(env.process(browser.load(page)))
+    return env, result
+
+
+def test_figures_are_bit_identical_with_tracing_disabled():
+    env_plain, plain = _load_once(with_obs=False)
+    env_traced, traced = _load_once(with_obs=True)
+    assert plain.plt == traced.plt
+    assert env_plain.now == env_traced.now
+    assert env_plain.steps_processed == env_traced.steps_processed
+
+
+def test_uninstrumented_environment_allocates_no_obs_events():
+    env, _ = _load_once(with_obs=False)
+    assert env.tracer is None and env.metrics is None
+    assert tracer_of(env).enabled is False
+    # The shared null tracer has no storage, so nothing can have leaked.
+    assert not hasattr(tracer_of(env), "spans")
+
+
+def test_traced_fig2a_has_sane_wall_cost():
+    # Not a benchmark — a regression tripwire: one traced page load must
+    # stay far from pathological (event storms, quadratic span handling).
+    import time
+
+    start = time.monotonic()
+    traced = run_traced_trial("fig2a", seed=0)
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0, f"traced fig2a took {elapsed:.1f}s"
+    # Event volume stays bounded relative to kernel steps: every span or
+    # instant is tied to real simulation activity, not emitted in a loop.
+    assert len(traced.tracer) < 10 * traced.steps

@@ -124,3 +124,45 @@ def test_live_process_count_tracks_termination():
     assert env.live_process_count == 1
     env.run(until=6.0)
     assert env.live_process_count == 0
+
+
+# -- deadlock wait-target reporting -----------------------------------------
+
+def test_deadlock_reports_each_stuck_process_wait_target():
+    env = Environment()
+    blocker = env.event()
+
+    def waits_on_event(env, blocker):
+        yield blocker
+
+    def waits_on_process(env, other):
+        yield other
+
+    first = env.process(waits_on_event(env, blocker))
+    env.process(waits_on_process(env, first))
+    with pytest.raises(SimDeadlock) as exc_info:
+        env.run(blocker)
+    deadlock = exc_info.value
+    assert deadlock.waiting == (
+        "waits_on_event waiting on <Event>",
+        "waits_on_process waiting on <Process waits_on_event>",
+    )
+    # The message carries the same detail, address-free.
+    message = str(deadlock)
+    assert "waits_on_event waiting on <Event>" in message
+    assert "0x" not in message  # no id()/memory addresses anywhere
+
+
+def test_deadlock_waiting_reprs_are_deterministic():
+    def run_once():
+        env = Environment()
+
+        def stuck(env):
+            yield env.event()
+
+        env.process(stuck(env))
+        with pytest.raises(SimDeadlock) as exc_info:
+            env.run()
+        return str(exc_info.value), exc_info.value.waiting
+
+    assert run_once() == run_once()

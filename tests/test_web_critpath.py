@@ -78,3 +78,48 @@ def test_network_share_grows_with_lead_in():
     fast = extract_critical_path([act(0, "fetch", 0.0, 1.0)], 1.0)
     slow = extract_critical_path([act(0, "fetch", 2.0, 3.0)], 3.0)
     assert slow.network_time > fast.network_time
+
+
+# -- trace-derived activity DAG (repro.obs integration) ---------------------
+
+def _traced_load(regex_factory, install_obs: bool):
+    from repro.obs import install
+
+    page = generate_page(33, "news", regex_factory)
+    env = Environment()
+    tracer = install(env)[0] if install_obs else None
+    device = Device(env, NEXUS4, pinned_mhz=1512)
+    browser = BrowserEngine(env, device, Link(env))
+    result = env.run(env.process(browser.load(page)))
+    return result, tracer
+
+
+def test_activities_from_trace_rebuilds_the_dag(regex_factory):
+    from repro.analysis.critpath import activities_from_trace
+
+    result, tracer = _traced_load(regex_factory, install_obs=True)
+    rebuilt = activities_from_trace(tracer.spans)
+    assert rebuilt == sorted(result.activities, key=lambda a: a.id)
+
+
+def test_trace_and_charge_based_critical_paths_agree(regex_factory):
+    result, tracer = _traced_load(regex_factory, install_obs=True)
+    charged = extract_critical_path(result.activities, result.plt)
+    traced = extract_critical_path([], result.plt, trace=tracer.spans)
+    assert [a.id for a in traced.activities] == [a.id for a in charged.activities]
+    assert traced.kind_breakdown == charged.kind_breakdown
+
+
+def test_empty_trace_falls_back_to_charged_activities():
+    activities = [act(0, "fetch", 0.0, 1.0)]
+    path = extract_critical_path(activities, 1.0, trace=[])
+    assert [a.id for a in path.activities] == [0]
+
+
+def test_non_web_spans_are_ignored(regex_factory):
+    from repro.analysis.critpath import activities_from_trace
+
+    result, tracer = _traced_load(regex_factory, install_obs=True)
+    non_web = [s for s in tracer.spans if s.cat != "web"]
+    assert non_web  # the load also traced net/device/sim spans
+    assert activities_from_trace(non_web) == []
