@@ -68,10 +68,23 @@ class Summary:
     failures: int = 0
 
     def __str__(self) -> str:
-        base = f"{self.mean:.3f} ± {self.stdev:.3f} (n={self.n})"
+        if self.n == 0:
+            # An empty sample has no mean: rendering fabricated zeros would
+            # report a zero-latency result that never happened.
+            base = "n/a (n=0)"
+        else:
+            base = f"{self.mean:.3f} ± {self.stdev:.3f} (n={self.n})"
         if self.failures:
             base += f" [{self.failures} failed]"
         return base
+
+    def fmt_mean(self, spec: str = ".3f") -> str:
+        """Mean formatted for a table/CSV cell; ``n/a`` for an empty sample."""
+        return "n/a" if self.n == 0 else format(self.mean, spec)
+
+    def fmt_stdev(self, spec: str = ".3f") -> str:
+        """Stdev formatted for a table/CSV cell; ``n/a`` for an empty sample."""
+        return "n/a" if self.n == 0 else format(self.stdev, spec)
 
 
 def summarize(values: Sequence[float], failures: int = 0) -> Summary:

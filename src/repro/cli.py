@@ -8,6 +8,7 @@ Usage::
     python -m repro fig2a --csv out/     # also dump CSV data
     python -m repro joint                # §6 extension studies
     python -m repro faults               # degraded-condition sweeps
+    python -m repro faults --jobs 4      # same rows, 4 worker processes
     python -m repro faults --journal out/j --resume   # continue a run
     python -m repro lint --format json   # simlint static analysis
     python -m repro trace fig2a --out trace.json      # Perfetto trace
@@ -39,6 +40,13 @@ def _maybe_csv(args, name: str, headers, rows) -> None:
     if args.csv:
         path = write_csv(Path(args.csv) / f"{name}.csv", headers, rows)
         print(f"[wrote {path}]")
+
+
+def _executor(args):
+    """The trial executor selected by ``--jobs`` (serial for 1)."""
+    from repro.parallel import get_executor
+
+    return get_executor(args.jobs)
 
 
 def cmd_table1(args) -> None:
@@ -74,12 +82,15 @@ def cmd_fig2(args) -> None:
     from repro.rtc import CallConfig
     from repro.video import VideoSpec
 
-    web = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials))
+    executor = _executor(args)
+    web = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials,
+                                  executor=executor))
     video = VideoStudy(VideoStudyConfig(
-        clip=VideoSpec(duration_s=args.media_s), trials=args.trials))
+        clip=VideoSpec(duration_s=args.media_s), trials=args.trials,
+        executor=executor))
     rtc = RtcStudy(RtcStudyConfig(
         call=CallConfig(call_duration_s=min(args.media_s, 20)),
-        trials=args.trials))
+        trials=args.trials, executor=executor))
     web_rows = {s.name: v for s, v in web.qoe_across_devices()}
     video_rows = {p.label: p for p in video.qoe_across_devices()}
     rtc_rows = {p.label: p for p in rtc.qoe_across_devices()}
@@ -99,7 +110,8 @@ def cmd_fig3a(args) -> None:
     from repro.core.studies import WebStudy, WebStudyConfig
     from repro.device import NEXUS4_LADDER
 
-    study = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials))
+    study = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials,
+                                    executor=_executor(args)))
     points = study.plt_vs_clock(ladder=NEXUS4_LADDER)
     headers = ["clock_mhz", "plt_s", "plt_std", "cp_compute_s",
                "cp_network_s", "scripting_share"]
@@ -113,7 +125,8 @@ def cmd_fig3a(args) -> None:
 def cmd_fig3bcd(args) -> None:
     from repro.core.studies import WebStudy, WebStudyConfig
 
-    study = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials))
+    study = WebStudy(WebStudyConfig(n_pages=args.pages, trials=args.trials,
+                                    executor=_executor(args)))
     print("Fig 3b (memory):")
     mem_rows = [[gb, f"{s.mean:.2f}"] for gb, s in study.plt_vs_memory()]
     print(render_table(["memory_gb", "plt_s"], mem_rows))
@@ -134,7 +147,8 @@ def cmd_fig4(args) -> None:
     from repro.video import VideoSpec
 
     study = VideoStudy(VideoStudyConfig(
-        clip=VideoSpec(duration_s=args.media_s), trials=args.trials))
+        clip=VideoSpec(duration_s=args.media_s), trials=args.trials,
+        executor=_executor(args)))
     sweeps = {
         "fig4a_clock": study.vs_clock(ladder=NEXUS4_LADDER),
         "fig4b_memory": study.vs_memory(),
@@ -157,7 +171,7 @@ def cmd_fig5(args) -> None:
 
     study = RtcStudy(RtcStudyConfig(
         call=CallConfig(call_duration_s=min(args.media_s, 20)),
-        trials=args.trials))
+        trials=args.trials, executor=_executor(args)))
     sweeps = {
         "fig5a_clock": study.vs_clock(ladder=NEXUS4_LADDER),
         "fig5b_memory": study.vs_memory(),
@@ -216,12 +230,14 @@ def cmd_joint(args) -> None:
         browsers_vs_clock, joint_network_device_grid, tls_overhead,
     )
 
+    executor = _executor(args)
     print("Joint network x device grid:")
     headers = ["bandwidth_mbps", "clock_mhz", "plt_s", "bound"]
     rows = [
         [p.bandwidth_mbps, p.clock_mhz, f"{p.plt.mean:.2f}",
          "device" if p.device_bound else "network"]
-        for p in joint_network_device_grid(n_pages=args.pages)
+        for p in joint_network_device_grid(n_pages=args.pages,
+                                           executor=executor)
     ]
     print(render_table(headers, rows))
     _maybe_csv(args, "joint_grid", headers, rows)
@@ -230,7 +246,7 @@ def cmd_joint(args) -> None:
     tls_rows = [
         [p.clock_mhz, f"{p.plt_tls.mean:.2f}", f"{p.plt_plain.mean:.2f}",
          f"{p.tls_overhead_frac:.1%}"]
-        for p in tls_overhead(n_pages=args.pages)
+        for p in tls_overhead(n_pages=args.pages, executor=executor)
     ]
     print(render_table(["clock_mhz", "plt_tls_s", "plt_plain_s",
                         "tls_share"], tls_rows))
@@ -239,7 +255,7 @@ def cmd_joint(args) -> None:
                tls_rows)
 
     print("\nBrowser profiles vs clock:")
-    table = browsers_vs_clock(n_pages=args.pages)
+    table = browsers_vs_clock(n_pages=args.pages, executor=executor)
     browser_rows = [
         [name, f"{cols[384].mean:.2f}", f"{cols[1512].mean:.2f}",
          f"{cols[384].mean / cols[1512].mean:.2f}"]
@@ -261,12 +277,15 @@ def cmd_faults(args) -> None:
         clip=VideoSpec(duration_s=min(args.media_s, 30.0)),
         crash_probability=args.crash_probability,
         journal_dir=Path(args.journal) if args.journal else None,
+        executor=_executor(args),
     )
     study = FaultStudy(config)
     headers = ["condition", "mean", "std", "n", "failed"]
 
     def rows(points):
-        return [[p.label, f"{p.metric.mean:.3f}", f"{p.metric.stdev:.3f}",
+        # fmt_mean/fmt_stdev render "n/a" when every trial of a sweep
+        # point failed — never a fabricated 0.000 latency.
+        return [[p.label, p.metric.fmt_mean(), p.metric.fmt_stdev(),
                  p.metric.n, p.metric.failures] for p in points]
 
     print("Web PLT vs GE burst loss:")
@@ -322,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seeded repetitions (paper scale: 20)")
     parser.add_argument("--media-s", type=float, default=60.0,
                         help="media session length in seconds (paper: 300)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for trial fan-out "
+                             "(1 = serial; output is byte-identical "
+                             "for any value)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write the series as CSV under DIR")
     parser.add_argument("--journal", metavar="DIR", default=None,
@@ -356,6 +379,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     if args.trials < 1:
         print(f"error: --trials must be at least 1 (got {args.trials})",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be at least 1 (got {args.jobs})",
               file=sys.stderr)
         return 2
     if args.resume and not args.journal:

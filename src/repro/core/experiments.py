@@ -13,6 +13,14 @@ reseed, journals completed trials to JSON for ``--resume``, and reports
 failure counts through :class:`~repro.analysis.stats.Summary` so figures
 render from the trials that succeeded.
 
+Both runners dispatch trials through a :class:`repro.parallel.Executor`
+(serial by default, ``MultiprocessExecutor`` for ``--jobs N``).  Because
+every trial is a pure function of ``(experiment, trial)``, fan-out is
+invisible in the output: records are keyed by trial index and merged in
+trial order, workers return :class:`TrialRecord` values, and only the
+parent process touches the journal file — so summaries, journals, and
+figure rows are byte-identical for any worker count.
+
 Error taxonomy:
 
 * :class:`TrialError` — base; one trial failed after all attempts.
@@ -42,7 +50,8 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.stats import Summary, summarize
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, merge_snapshots
+from repro.parallel import Executor, SerialExecutor
 from repro.sim import Interrupt, SimDeadlock, StepBudgetExceeded
 
 T = TypeVar("T")
@@ -91,18 +100,19 @@ class TrialRunner:
     full-fidelity runs.
     """
 
-    def __init__(self, trials: int = 5, experiment: str = "exp"):
+    def __init__(self, trials: int = 5, experiment: str = "exp",
+                 executor: Optional[Executor] = None):
         if trials < 1:
             raise ValueError("need at least one trial")
         self.trials = trials
         self.experiment = experiment
+        self.executor = executor or SerialExecutor()
 
     def run(self, trial_fn: Callable[[int], T]) -> list[T]:
         """Execute all trials; returns their results in trial order."""
-        return [
-            trial_fn(derive_seed(self.experiment, index))
-            for index in range(self.trials)
-        ]
+        seeds = [derive_seed(self.experiment, index)
+                 for index in range(self.trials)]
+        return self.executor.map(trial_fn, seeds)
 
     def summary(self, trial_fn: Callable[[int], float]) -> Summary:
         """Run trials returning scalars and summarize them."""
@@ -119,8 +129,10 @@ TRIAL_DEADLOCK = "deadlock"
 TRIAL_ERROR = "error"
 
 #: Journal schema version.  v2 added ``duration_wall_s``/``steps``/``metrics``;
-#: v1 journals still load (the new fields default).
-JOURNAL_VERSION = 2
+#: v3 dropped ``duration_wall_s`` from the *file* (host timing made journal
+#: bytes run-dependent; records still carry it in memory).  Older journals
+#: still load (missing fields default).
+JOURNAL_VERSION = 3
 
 
 @dataclass
@@ -199,6 +211,19 @@ class RobustRunReport:
         """Mean ± std of the successful trials, failures counted alongside."""
         return summarize(self.values, failures=self.failures)
 
+    def merged_metrics(self) -> dict:
+        """Cross-trial merge of the per-trial registry snapshots.
+
+        Records are visited in trial order, so the merged snapshot is
+        identical for any executor / worker count (see
+        :func:`repro.obs.merge_snapshots` for the aggregation rules).
+        """
+        return merge_snapshots([
+            record.metrics
+            for record in sorted(self.records, key=lambda r: r.trial)
+            if record.metrics
+        ])
+
 
 class RobustTrialRunner:
     """Fault-tolerant :class:`TrialRunner`: budgets, retries, journaling.
@@ -216,9 +241,17 @@ class RobustTrialRunner:
     raised, so a study always completes with whatever trials succeeded.
 
     ``journal_path`` enables crash-safe progress journaling: a JSON file
-    rewritten after every finished trial.  With ``resume=True`` on
-    :meth:`run`, trials already journaled as ``ok`` are loaded instead of
-    re-executed — only missing or previously failed trials run.
+    atomically rewritten by the parent process after every finished trial
+    (workers return records; they never touch the file).  With
+    ``resume=True`` on :meth:`run`, trials already journaled as ``ok`` are
+    loaded instead of re-executed — only missing or previously failed
+    trials run — and the final journal is always rewritten, even when
+    every trial was satisfied from it.
+
+    ``executor`` selects the dispatch layer (default
+    :class:`~repro.parallel.SerialExecutor`).  With a
+    :class:`~repro.parallel.MultiprocessExecutor`, ``trial_fn`` must be
+    picklable (a module-level function or class instance).
     """
 
     def __init__(
@@ -229,6 +262,7 @@ class RobustTrialRunner:
         step_budget: Optional[int] = None,
         wall_budget_s: Optional[float] = None,
         journal_path: Optional[Union[str, Path]] = None,
+        executor: Optional[Executor] = None,
     ):
         if trials < 1:
             raise ValueError("need at least one trial")
@@ -244,6 +278,7 @@ class RobustTrialRunner:
         self.step_budget = step_budget
         self.wall_budget_s = wall_budget_s
         self.journal_path = Path(journal_path) if journal_path else None
+        self.executor = executor or SerialExecutor()
 
     # -- journal ----------------------------------------------------------
 
@@ -262,10 +297,27 @@ class RobustTrialRunner:
                 f"journal {self.journal_path} belongs to experiment "
                 f"{raw.get('experiment')!r}, not {self.experiment!r}",
             )
+        stored_trials = raw.get("trials")
+        if stored_trials is not None and int(stored_trials) != self.trials:
+            raise TrialError(
+                self.experiment, -1, 0,
+                f"journal {self.journal_path} was written for "
+                f"{stored_trials} trials, not {self.trials}; resuming "
+                f"would silently mix run shapes — delete the journal or "
+                f"rerun with trials={stored_trials}",
+            )
         return {
             record.trial: record
             for record in (TrialRecord.from_dict(r) for r in raw.get("records", []))
         }
+
+    @staticmethod
+    def _journal_row(record: TrialRecord) -> dict:
+        row = record.as_dict()
+        # Host timing varies run to run; keeping it out of the file is what
+        # makes journals byte-identical across runs and worker counts.
+        row.pop("duration_wall_s", None)
+        return row
 
     def _write_journal(self, records: dict[int, TrialRecord]) -> None:
         if self.journal_path is None:
@@ -274,7 +326,7 @@ class RobustTrialRunner:
             "version": JOURNAL_VERSION,
             "experiment": self.experiment,
             "trials": self.trials,
-            "records": [records[k].as_dict() for k in sorted(records)],
+            "records": [self._journal_row(records[k]) for k in sorted(records)],
         }
         self.journal_path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.journal_path.with_suffix(self.journal_path.suffix + ".tmp")
@@ -330,11 +382,19 @@ class RobustTrialRunner:
             report.resumed = len(records)
         pass_budget = self._wants_step_budget(trial_fn)
         pass_metrics = self._wants_metrics(trial_fn)
-        for trial in range(self.trials):
-            if trial in records:
-                continue
-            records[trial] = self._run_trial(trial_fn, trial, pass_budget,
-                                             pass_metrics)
+        pending = [trial for trial in range(self.trials)
+                   if trial not in records]
+        task = _TrialTask(runner=self, trial_fn=trial_fn,
+                          pass_budget=pass_budget, pass_metrics=pass_metrics)
+        # Workers hand records back; only this (parent) process merges them
+        # and touches the journal file.  The merge is keyed by trial index,
+        # so completion order never reaches the output.
+        for _, record in self.executor.run_tasks(task, pending):
+            records[record.trial] = record
+            self._write_journal(records)
+        if not pending:
+            # Every trial was satisfied from the journal: rewrite it anyway
+            # so the header (version, trials) never goes stale.
             self._write_journal(records)
         report.records = [records[k] for k in sorted(records)]
         return report
@@ -378,8 +438,20 @@ class RobustTrialRunner:
                     )
                     # Retrying a too-slow trial would double the damage.
                     return record
+                try:
+                    numeric = float(value)
+                except (TypeError, ValueError) as error:
+                    # Part of the never-raises contract: a trial function
+                    # returning a non-numeric record is a failed trial, not
+                    # a study-killing exception.
+                    record.status = TRIAL_ERROR
+                    record.error = (
+                        f"non-numeric trial result of type "
+                        f"{type(value).__name__}: {error}"
+                    )
+                    continue
                 record.status = TRIAL_OK
-                record.value = float(value)
+                record.value = numeric
                 record.error = ""
                 if registry is not None:
                     snapshot = registry.snapshot()
@@ -399,6 +471,25 @@ class RobustTrialRunner:
     def summary(self, trial_fn: Callable, resume: bool = False) -> Summary:
         """Run (or resume) and summarize, failure counts included."""
         return self.run(trial_fn, resume=resume).summary()
+
+
+@dataclass
+class _TrialTask:
+    """Picklable unit of work an executor ships to a worker.
+
+    Pickling the runner carries only its configuration (ints, paths); the
+    worker re-derives everything else from the trial index, and the
+    returned :class:`TrialRecord` is the only thing that crosses back.
+    """
+
+    runner: RobustTrialRunner
+    trial_fn: Callable
+    pass_budget: bool
+    pass_metrics: bool
+
+    def __call__(self, trial: int) -> TrialRecord:
+        return self.runner._run_trial(self.trial_fn, trial,
+                                      self.pass_budget, self.pass_metrics)
 
 
 def trial_summary(values: Sequence[float]) -> Summary:

@@ -25,6 +25,7 @@ from repro.core.experiments import RobustRunReport, RobustTrialRunner
 from repro.device import Device, DeviceSpec, NEXUS4
 from repro.faults import BurstLossSpec, CrashSpec, FaultPlan, ThermalThrottleSpec
 from repro.netstack import Link, LinkSpec
+from repro.parallel import Executor
 from repro.sim import Environment
 from repro.video import StreamingPlayer, StreamingResult, VideoSpec
 from repro.web import BrowserEngine
@@ -56,6 +57,8 @@ class FaultStudyConfig:
     step_budget: Optional[int] = 5_000_000
     #: Directory for per-experiment trial journals (enables ``--resume``).
     journal_dir: Optional[Path] = None
+    #: Trial dispatch layer; None means in-process serial execution.
+    executor: Optional[Executor] = None
 
 
 @dataclass
@@ -127,21 +130,14 @@ class FaultStudy:
             trials=self.config.trials, experiment=experiment,
             max_attempts=self.config.max_attempts,
             step_budget=self.config.step_budget, journal_path=journal,
+            executor=self.config.executor,
         )
 
     def _web_point(self, experiment: str, label: str, plan: FaultPlan,
                    spec: DeviceSpec, resume: bool,
                    **device_kwargs) -> FaultSweepPoint:
-        pages = self.corpus
-
-        def trial_fn(seed: int, step_budget: Optional[int]) -> float:
-            plts = [
-                self.load_page_with_faults(spec, page, plan, seed + i,
-                                           step_budget, **device_kwargs)
-                for i, page in enumerate(pages)
-            ]
-            return sum(plts) / len(plts)
-
+        trial_fn = _WebFaultTrial(study=self, spec=spec, plan=plan,
+                                  device_kwargs=device_kwargs)
         report = self._runner(experiment).run(trial_fn, resume=resume)
         return FaultSweepPoint(label=label, metric=report.summary(),
                                report=report)
@@ -149,13 +145,9 @@ class FaultStudy:
     def _video_point(self, experiment: str, label: str, plan: FaultPlan,
                      spec: DeviceSpec, resume: bool, metric: str = "stall",
                      **device_kwargs) -> FaultSweepPoint:
-        def trial_fn(seed: int, step_budget: Optional[int]) -> float:
-            result = self.stream_with_faults(spec, plan, seed, step_budget,
-                                             **device_kwargs)
-            if metric == "startup":
-                return result.startup_latency_s
-            return result.stall_ratio
-
+        trial_fn = _VideoFaultTrial(study=self, spec=spec, plan=plan,
+                                    metric=metric,
+                                    device_kwargs=device_kwargs)
         report = self._runner(experiment).run(trial_fn, resume=resume)
         return FaultSweepPoint(label=label, metric=report.summary(),
                                report=report)
@@ -262,6 +254,48 @@ class FaultStudy:
                 governor="OD",
             ))
         return points
+
+
+@dataclass
+class _WebFaultTrial:
+    """Picklable robust-runner trial: mean faulted PLT over the corpus.
+
+    Replaces the closure the sweeps used to build inline — closures cannot
+    cross the process boundary, instances of this class can.
+    """
+
+    study: FaultStudy
+    spec: DeviceSpec
+    plan: FaultPlan
+    device_kwargs: dict
+
+    def __call__(self, seed: int, step_budget: Optional[int]) -> float:
+        plts = [
+            self.study.load_page_with_faults(self.spec, page, self.plan,
+                                             seed + i, step_budget,
+                                             **self.device_kwargs)
+            for i, page in enumerate(self.study.corpus)
+        ]
+        return sum(plts) / len(plts)
+
+
+@dataclass
+class _VideoFaultTrial:
+    """Picklable robust-runner trial: one faulted streaming session."""
+
+    study: FaultStudy
+    spec: DeviceSpec
+    plan: FaultPlan
+    metric: str
+    device_kwargs: dict
+
+    def __call__(self, seed: int, step_budget: Optional[int]) -> float:
+        result = self.study.stream_with_faults(self.spec, self.plan, seed,
+                                               step_budget,
+                                               **self.device_kwargs)
+        if self.metric == "startup":
+            return result.startup_latency_s
+        return result.stall_ratio
 
 
 __all__ = ["FaultStudy", "FaultStudyConfig", "FaultSweepPoint"]

@@ -24,6 +24,7 @@ from repro.analysis.stats import Summary, summarize
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, NEXUS4
 from repro.netstack import HostStack, HttpClient, Link, LinkSpec
+from repro.parallel import Executor, SerialExecutor
 from repro.sim import Environment
 from repro.web import BrowserEngine
 from repro.web.costmodel import browser_profile
@@ -65,23 +66,40 @@ def _load(page: PageSpec, spec: DeviceSpec, link_spec: LinkSpec,
     return env.run(env.process(browser.load(page)))
 
 
+@dataclass(frozen=True)
+class _GridLoadTask:
+    """Picklable per-page load for one grid cell (executor fan-out unit)."""
+
+    spec: DeviceSpec
+    link_spec: LinkSpec
+    clock_mhz: Optional[int]
+    tls: bool = True
+    browser_name: str = "chrome63"
+
+    def __call__(self, page: PageSpec):
+        return _load(page, self.spec, self.link_spec, self.clock_mhz,
+                     tls=self.tls, browser_name=self.browser_name)
+
+
 def joint_network_device_grid(
     spec: DeviceSpec = NEXUS4,
     bandwidths_mbps: Sequence[float] = (2.0, 8.0, 48.5),
     clocks_mhz: Sequence[int] = (384, 810, 1512),
     n_pages: int = 4,
+    executor: Optional[Executor] = None,
 ) -> list[JointPoint]:
     """PLT over the bandwidth × clock grid.
 
     On fast links the device dominates (the paper's regime); on slow
     links the crossover moves and upgrading the CPU stops paying.
     """
+    executor = executor or SerialExecutor()
     pages = _corpus(n_pages)
     points = []
     for mbps in bandwidths_mbps:
         link_spec = LinkSpec(goodput_bps=mbps * 1e6)
         for mhz in clocks_mhz:
-            results = [_load(p, spec, link_spec, mhz) for p in pages]
+            results = executor.map(_GridLoadTask(spec, link_spec, mhz), pages)
             points.append(JointPoint(
                 bandwidth_mbps=mbps,
                 clock_mhz=mhz,
@@ -112,6 +130,7 @@ def tls_overhead(
     spec: DeviceSpec = NEXUS4,
     clocks_mhz: Sequence[int] = (384, 810, 1512),
     n_pages: int = 4,
+    executor: Optional[Executor] = None,
 ) -> list[TlsPoint]:
     """PLT with and without TLS across clocks.
 
@@ -121,12 +140,15 @@ def tls_overhead(
     absolute seconds, several times larger on a slow clock (the §6
     observation that stack overheads deserve device-side attention).
     """
+    executor = executor or SerialExecutor()
     pages = _corpus(n_pages)
     link_spec = LinkSpec()
     points = []
     for mhz in clocks_mhz:
-        tls_on = [_load(p, spec, link_spec, mhz, tls=True) for p in pages]
-        tls_off = [_load(p, spec, link_spec, mhz, tls=False) for p in pages]
+        tls_on = executor.map(
+            _GridLoadTask(spec, link_spec, mhz, tls=True), pages)
+        tls_off = executor.map(
+            _GridLoadTask(spec, link_spec, mhz, tls=False), pages)
         points.append(TlsPoint(
             clock_mhz=mhz,
             plt_tls=summarize([r.plt for r in tls_on]),
@@ -140,6 +162,7 @@ def browsers_vs_clock(
     browsers: Sequence[str] = ("chrome63", "firefox57", "operamini"),
     clocks_mhz: Sequence[int] = (384, 1512),
     n_pages: int = 4,
+    executor: Optional[Executor] = None,
 ) -> dict[str, dict[int, Summary]]:
     """PLT per browser profile across clocks.
 
@@ -147,16 +170,18 @@ def browsers_vs_clock(
     the profiles reproduce that (same ordering and similar slowdown
     factors), with Opera Mini's proxy mode least clock-sensitive.
     """
+    executor = executor or SerialExecutor()
     pages = _corpus(n_pages)
     link_spec = LinkSpec()
     table: dict[str, dict[int, Summary]] = {}
     for browser_name in browsers:
         table[browser_name] = {}
         for mhz in clocks_mhz:
-            results = [
-                _load(p, spec, link_spec, mhz, browser_name=browser_name)
-                for p in pages
-            ]
+            results = executor.map(
+                _GridLoadTask(spec, link_spec, mhz,
+                              browser_name=browser_name),
+                pages,
+            )
             table[browser_name][mhz] = summarize([r.plt for r in results])
     return table
 

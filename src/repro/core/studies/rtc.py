@@ -10,6 +10,7 @@ from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
+from repro.parallel import Executor, SerialExecutor
 from repro.rtc import CallConfig, CallResult, VideoCall
 from repro.sim import Environment
 
@@ -22,6 +23,8 @@ class RtcStudyConfig:
     trials: int = 3
     link: LinkSpec = field(default_factory=LinkSpec)
     background_jitter: bool = True
+    #: Trial dispatch layer; None means in-process serial execution.
+    executor: Optional[Executor] = None
 
 
 @dataclass
@@ -38,6 +41,7 @@ class RtcStudy:
 
     def __init__(self, config: Optional[RtcStudyConfig] = None):
         self.config = config or RtcStudyConfig()
+        self.executor = self.config.executor or SerialExecutor()
 
     def call_once(self, spec: DeviceSpec, seed: int,
                   **device_kwargs) -> CallResult:
@@ -52,10 +56,12 @@ class RtcStudy:
 
     def _point(self, spec: DeviceSpec, label: object, experiment: str,
                **device_kwargs) -> CallPoint:
-        results = [
-            self.call_once(spec, derive_seed(experiment, t), **device_kwargs)
-            for t in range(self.config.trials)
-        ]
+        seeds = [derive_seed(experiment, t)
+                 for t in range(self.config.trials)]
+        results = self.executor.map(
+            _CallTask(study=self, spec=spec, device_kwargs=device_kwargs),
+            seeds,
+        )
         return CallPoint(
             label=label,
             setup_delay=summarize([r.setup_delay_s for r in results]),
@@ -105,6 +111,18 @@ class RtcStudy:
             self._point(spec, code, f"fig5d:{code}", governor=code)
             for code in governors
         ]
+
+
+@dataclass
+class _CallTask:
+    """Picklable per-trial task: one full call session."""
+
+    study: RtcStudy
+    spec: DeviceSpec
+    device_kwargs: dict
+
+    def __call__(self, seed: int) -> CallResult:
+        return self.study.call_once(self.spec, seed, **self.device_kwargs)
 
 
 __all__ = ["CallPoint", "RtcStudy", "RtcStudyConfig"]

@@ -10,6 +10,7 @@ from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
+from repro.parallel import Executor, SerialExecutor
 from repro.sim import Environment
 from repro.video import StreamingPlayer, StreamingResult, VideoSpec
 
@@ -22,6 +23,8 @@ class VideoStudyConfig:
     trials: int = 3
     link: LinkSpec = field(default_factory=LinkSpec)
     background_jitter: bool = True
+    #: Trial dispatch layer; None means in-process serial execution.
+    executor: Optional[Executor] = None
 
 
 @dataclass
@@ -38,6 +41,7 @@ class VideoStudy:
 
     def __init__(self, config: Optional[VideoStudyConfig] = None):
         self.config = config or VideoStudyConfig()
+        self.executor = self.config.executor or SerialExecutor()
 
     def stream_once(self, spec: DeviceSpec, seed: int,
                     **device_kwargs) -> StreamingResult:
@@ -52,10 +56,12 @@ class VideoStudy:
 
     def _point(self, spec: DeviceSpec, label: object, experiment: str,
                **device_kwargs) -> StreamingPoint:
-        results = [
-            self.stream_once(spec, derive_seed(experiment, t), **device_kwargs)
-            for t in range(self.config.trials)
-        ]
+        seeds = [derive_seed(experiment, t)
+                 for t in range(self.config.trials)]
+        results = self.executor.map(
+            _StreamTask(study=self, spec=spec, device_kwargs=device_kwargs),
+            seeds,
+        )
         return StreamingPoint(
             label=label,
             startup=summarize([r.startup_latency_s for r in results]),
@@ -105,6 +111,18 @@ class VideoStudy:
             self._point(spec, code, f"fig4d:{code}", governor=code)
             for code in governors
         ]
+
+
+@dataclass
+class _StreamTask:
+    """Picklable per-trial task: one full streaming session."""
+
+    study: VideoStudy
+    spec: DeviceSpec
+    device_kwargs: dict
+
+    def __call__(self, seed: int) -> StreamingResult:
+        return self.study.stream_once(self.spec, seed, **self.device_kwargs)
 
 
 __all__ = ["StreamingPoint", "VideoStudy", "VideoStudyConfig"]

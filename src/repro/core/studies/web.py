@@ -17,6 +17,7 @@ from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
+from repro.parallel import Executor, SerialExecutor
 from repro.sim import Environment
 from repro.web import BrowserEngine, PageLoadResult
 from repro.workloads import generate_corpus
@@ -37,6 +38,8 @@ class WebStudyConfig:
     categories: Sequence[str] = CATEGORIES
     link: LinkSpec = field(default_factory=LinkSpec)
     background_jitter: bool = True
+    #: Trial dispatch layer; None means in-process serial execution.
+    executor: Optional[Executor] = None
 
 
 @dataclass
@@ -56,6 +59,7 @@ class WebStudy:
 
     def __init__(self, config: Optional[WebStudyConfig] = None):
         self.config = config or WebStudyConfig()
+        self.executor = self.config.executor or SerialExecutor()
         self._factory = RegexWorkloadFactory()
         self.corpus: list[PageSpec] = generate_corpus(
             self.config.n_pages, categories=tuple(self.config.categories),
@@ -77,11 +81,16 @@ class WebStudy:
     def _results(self, spec: DeviceSpec, experiment: str,
                  pages: Optional[Sequence[PageSpec]] = None,
                  **device_kwargs) -> list[PageLoadResult]:
-        out = []
-        for trial in range(self.config.trials):
-            seed = derive_seed(experiment, trial)
-            for page in pages or self.corpus:
-                out.append(self.load_page(spec, page, seed, **device_kwargs))
+        task = _PageLoadTask(study=self, spec=spec,
+                             pages=tuple(pages or self.corpus),
+                             device_kwargs=device_kwargs)
+        seeds = [derive_seed(experiment, trial)
+                 for trial in range(self.config.trials)]
+        out: list[PageLoadResult] = []
+        # map() returns trial-order results whatever the completion order,
+        # so the flattened list matches the serial loop exactly.
+        for trial_results in self.executor.map(task, seeds):
+            out.extend(trial_results)
         return out
 
     def plt_summary(self, spec: DeviceSpec, experiment: str,
@@ -206,6 +215,22 @@ class WebStudy:
                                     pinned_mhz=low_mhz)
             deltas[category] = slow.mean - fast.mean
         return deltas
+
+
+@dataclass
+class _PageLoadTask:
+    """Picklable per-trial task: load every page of a corpus slice once."""
+
+    study: WebStudy
+    spec: DeviceSpec
+    pages: tuple[PageSpec, ...]
+    device_kwargs: dict
+
+    def __call__(self, seed: int) -> list[PageLoadResult]:
+        return [
+            self.study.load_page(self.spec, page, seed, **self.device_kwargs)
+            for page in self.pages
+        ]
 
 
 __all__ = ["ClockSweepPoint", "WebStudy", "WebStudyConfig"]

@@ -132,6 +132,7 @@ from repro.lint.rules.determinism import (  # noqa: E402
 )
 from repro.lint.rules.faults import SeededFaultInjectionRule  # noqa: E402
 from repro.lint.rules.obs import RawSpanPairRule  # noqa: E402
+from repro.lint.rules.parallel import RawProcessFanoutRule  # noqa: E402
 from repro.lint.rules.simapi import (  # noqa: E402
     BlockingCallRule,
     KernelStateMutationRule,
@@ -153,6 +154,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CatalogSchemaRule(),
     SeededFaultInjectionRule(),
     RawSpanPairRule(),
+    RawProcessFanoutRule(),
 )
 
 

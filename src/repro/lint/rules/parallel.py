@@ -1,0 +1,68 @@
+"""Parallel-execution rules (PAR6xx).
+
+All process fan-out flows through :mod:`repro.parallel`: executors key
+results by item index so merges are deterministic, and only the parent
+process touches journals and figure files.  A raw ``ProcessPoolExecutor``
+or ``os.fork`` anywhere else reintroduces exactly the bugs the executor
+layer exists to prevent — completion-order-dependent output and worker
+processes racing on shared files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule, call_name
+
+#: Dotted call targets that spawn worker processes directly.
+_RAW_FANOUT_CALLS = frozenset({
+    "os.fork",
+    "os.forkpty",
+    "multiprocessing.Pool",
+    "multiprocessing.Process",
+})
+
+#: Last path segment of constructors that are fan-out regardless of how
+#: the module was imported (``ProcessPoolExecutor`` vs
+#: ``concurrent.futures.ProcessPoolExecutor``).
+_RAW_FANOUT_SUFFIXES = frozenset({"ProcessPoolExecutor"})
+
+
+class RawProcessFanoutRule(Rule):
+    """PAR601: worker processes are spawned only inside ``repro.parallel``."""
+
+    id = "PAR601"
+    severity = Severity.ERROR
+    title = "process fan-out outside repro.parallel"
+    rationale = (
+        "Executors merge worker results keyed by trial index and leave "
+        "journal/figure writes to the parent process; a raw "
+        "ProcessPoolExecutor or os.fork elsewhere leaks completion order "
+        "into results and lets workers race on shared files."
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        # The executor layer is the one sanctioned home of fan-out.
+        return "parallel/" not in context.norm_path
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name in _RAW_FANOUT_CALLS or (
+                name.split(".")[-1] in _RAW_FANOUT_SUFFIXES
+            ):
+                yield self.finding(
+                    context, node,
+                    f"{name}() spawns worker processes directly; dispatch "
+                    f"through a repro.parallel executor so results merge "
+                    f"deterministically and only the parent writes files",
+                )
+
+
+__all__ = ["RawProcessFanoutRule"]

@@ -42,6 +42,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    merge_snapshots,
 )
 from repro.obs.tracer import (
     Instant,
@@ -105,6 +106,7 @@ __all__ = [
     "chrome_trace_events",
     "chrome_trace_json",
     "install",
+    "merge_snapshots",
     "metrics_json",
     "text_summary",
     "write_chrome_trace",

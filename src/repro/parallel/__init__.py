@@ -1,0 +1,17 @@
+"""Deterministic trial fan-out (see :mod:`repro.parallel.executors`)."""
+
+from repro.parallel.executors import (
+    Executor,
+    MultiprocessExecutor,
+    ParallelExecutionError,
+    SerialExecutor,
+    get_executor,
+)
+
+__all__ = [
+    "Executor",
+    "MultiprocessExecutor",
+    "ParallelExecutionError",
+    "SerialExecutor",
+    "get_executor",
+]

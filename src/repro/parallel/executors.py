@@ -1,0 +1,136 @@
+"""Pluggable trial executors: serial and multiprocess fan-out.
+
+The paper's methodology is embarrassingly parallel — every figure is N
+independent seeded repetitions per sweep point, and ``derive_seed`` makes
+trial ``i`` of an experiment a pure function of ``(experiment, trial)``.
+Executors exploit that: a task function is applied to each item of a work
+list, results come back keyed by item index, and callers merge them in
+index order, so the output of a sweep is byte-identical for any worker
+count.
+
+Two implementations share one contract:
+
+* :class:`SerialExecutor` — in-process, in-order; the default everywhere,
+  and the reference behavior the multiprocess path must reproduce.
+* :class:`MultiprocessExecutor` — ``concurrent.futures``
+  ``ProcessPoolExecutor`` fan-out with ``max_workers`` processes.  Tasks
+  and results cross the process boundary by pickling, so task callables
+  must be picklable (module-level functions or instances of module-level
+  classes — not lambdas or closures).  Completion order is
+  nondeterministic; the index keying is what restores determinism.
+
+Workers never touch shared files: journals, CSVs, and figure tables are
+written by the parent after the merge (see
+:class:`repro.core.experiments.RobustTrialRunner`).  This module is the
+only place in the codebase allowed to spawn worker processes — simlint
+rule PAR601 enforces that.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Iterable, Iterator, Sequence, Tuple
+
+
+class ParallelExecutionError(RuntimeError):
+    """Fan-out infrastructure failure (not a task-level error)."""
+
+
+class Executor:
+    """Contract: apply ``fn`` to every item, yield ``(index, result)``.
+
+    ``run_tasks`` may yield in any order but must yield every index
+    exactly once; ``map`` restores item order.  Exceptions raised by
+    ``fn`` propagate to the caller in both implementations.
+    """
+
+    #: Worker-process count the executor was configured for (1 = serial).
+    jobs: int = 1
+
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  items: Sequence[Any]) -> Iterator[Tuple[int, Any]]:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> list:
+        """All results, in item order, regardless of completion order."""
+        work = list(items)
+        results: list = [None] * len(work)
+        seen = [False] * len(work)
+        for index, result in self.run_tasks(fn, work):
+            results[index] = result
+            seen[index] = True
+        if not all(seen):
+            missing = [i for i, ok in enumerate(seen) if not ok]
+            raise ParallelExecutionError(
+                f"executor dropped task indices {missing}"
+            )
+        return results
+
+
+class SerialExecutor(Executor):
+    """In-process execution in item order — the reference behavior."""
+
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  items: Sequence[Any]) -> Iterator[Tuple[int, Any]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+
+class MultiprocessExecutor(Executor):
+    """``ProcessPoolExecutor`` fan-out across ``max_workers`` processes.
+
+    Yields ``(index, result)`` pairs as tasks complete, so a caller that
+    journals incrementally can checkpoint after every finished trial
+    while still merging deterministically by index.
+    """
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.jobs = max_workers
+
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  items: Sequence[Any]) -> Iterator[Tuple[int, Any]]:
+        work = list(items)
+        if not work:
+            return
+        workers = min(self.jobs, len(work))
+        if workers == 1:
+            yield from SerialExecutor().run_tasks(fn, work)
+            return
+        try:
+            pickle.dumps(fn)
+        except Exception as error:
+            raise ParallelExecutionError(
+                f"task {fn!r} is not picklable and cannot cross the "
+                f"process boundary (use a module-level function or class "
+                f"instance, not a lambda/closure): {error}"
+            ) from error
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(fn, item): index
+                       for index, item in enumerate(work)}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    yield index, future.result()
+
+
+def get_executor(jobs: int = 1) -> Executor:
+    """``--jobs`` to executor: 1 is serial, N>1 is N worker processes."""
+    if jobs < 1:
+        raise ValueError(f"--jobs must be at least 1 (got {jobs})")
+    if jobs == 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(jobs)
+
+
+__all__ = [
+    "Executor",
+    "MultiprocessExecutor",
+    "ParallelExecutionError",
+    "SerialExecutor",
+    "get_executor",
+]

@@ -57,6 +57,18 @@ def test_summarize_empty():
     assert summarize([]) == Summary(0.0, 0.0, 0.0, 0.0, 0)
 
 
+def test_empty_summary_renders_na_not_fabricated_zeros():
+    empty = summarize([], failures=5)
+    assert str(empty) == "n/a (n=0) [5 failed]"
+    assert empty.fmt_mean() == "n/a"
+    assert empty.fmt_stdev() == "n/a"
+    # A populated summary keeps the numeric rendering.
+    full = summarize([1.0, 2.0])
+    assert full.fmt_mean() == "1.500"
+    assert full.fmt_mean(".1f") == "1.5"
+    assert "n/a" not in str(full)
+
+
 def test_cdf_points():
     points = cdf_points([3.0, 1.0, 2.0])
     assert points == [(1.0, pytest.approx(1 / 3)),

@@ -85,11 +85,13 @@ def test_runner_passes_registry_and_journals_snapshot(tmp_path):
         assert record.steps == 4
         assert record.duration_wall_s >= 0.0
     payload = json.loads(journal.read_text())
-    assert payload["version"] == 2
+    assert payload["version"] == 3
     row = payload["records"][0]
     assert row["steps"] == 4
     assert row["metrics"]["sim.steps"] == 4.0
-    assert row["duration_wall_s"] >= 0.0
+    # v3: host timing stays out of the file so journal bytes replay
+    # identically across runs and worker counts.
+    assert "duration_wall_s" not in row
 
 
 def test_runner_records_steps_on_budget_exhaustion():

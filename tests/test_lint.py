@@ -93,6 +93,13 @@ FLAGGED = {
             tracer.end_span(handle)
             return body
         """,
+    "PAR601": """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def fan_out(fn, items):
+            with ProcessPoolExecutor(max_workers=4) as pool:
+                return list(pool.map(fn, items))
+        """,
 }
 
 CLEAN = {
@@ -150,6 +157,12 @@ CLEAN = {
         def traced_fetch(tracer, fetch):
             with tracer.span("net.fetch", "net"):
                 return fetch()
+        """,
+    "PAR601": """
+        from repro.parallel import get_executor
+
+        def fan_out(fn, items, jobs):
+            return get_executor(jobs).map(fn, items)
         """,
 }
 
@@ -249,6 +262,22 @@ def test_flt401_accepts_seeded_streams(tmp_path):
     report = lint_source(tmp_path, source, select=["FLT401"],
                          name="app/study.py")
     assert report.findings == []
+
+
+def test_par601_flags_os_fork_and_exempts_the_executor_layer(tmp_path):
+    fork_source = """
+        import os
+
+        def spawn_worker():
+            return os.fork()
+        """
+    report = lint_source(tmp_path, fork_source, select=["PAR601"],
+                         name="app/workers.py")
+    assert rule_ids(report) == ["PAR601"]
+    # The executor layer itself is the sanctioned home of fan-out.
+    exempt = lint_source(tmp_path, FLAGGED["PAR601"], select=["PAR601"],
+                         name="repro/parallel/executors.py")
+    assert exempt.findings == []
 
 
 def test_sim103_exempts_the_kernel_package(tmp_path):

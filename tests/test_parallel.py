@@ -1,0 +1,98 @@
+"""Executor contract: serial/multiprocess equivalence and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    Executor,
+    MultiprocessExecutor,
+    ParallelExecutionError,
+    SerialExecutor,
+    get_executor,
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def explode(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+# -- map order and equivalence ----------------------------------------------
+
+def test_serial_map_preserves_item_order():
+    assert SerialExecutor().map(square, range(8)) == [
+        0, 1, 4, 9, 16, 25, 36, 49,
+    ]
+
+
+def test_multiprocess_map_matches_serial():
+    items = list(range(20))
+    serial = SerialExecutor().map(square, items)
+    assert MultiprocessExecutor(max_workers=3).map(square, items) == serial
+
+
+def test_run_tasks_yields_every_index_exactly_once():
+    for executor in (SerialExecutor(), MultiprocessExecutor(max_workers=2)):
+        indices = sorted(i for i, _ in executor.run_tasks(square, range(9)))
+        assert indices == list(range(9))
+
+
+def test_empty_item_list_is_fine():
+    assert SerialExecutor().map(square, []) == []
+    assert MultiprocessExecutor(max_workers=4).map(square, []) == []
+
+
+def test_single_item_skips_the_pool():
+    # One item never justifies worker spawn; the serial fallback also means
+    # lambdas survive, which would be unpicklable in the pool path.
+    assert MultiprocessExecutor(max_workers=4).map(lambda x: x + 1, [41]) \
+        == [42]
+
+
+def test_task_exceptions_propagate():
+    with pytest.raises(ValueError, match="boom on"):
+        SerialExecutor().map(explode, [1])
+    with pytest.raises(ValueError, match="boom on"):
+        MultiprocessExecutor(max_workers=2).map(explode, [1, 2, 3])
+
+
+# -- validation and dispatch ------------------------------------------------
+
+def test_unpicklable_fn_is_a_parallel_execution_error():
+    captured = []
+
+    def closure(x):          # closes over `captured`: unpicklable
+        captured.append(x)
+        return x
+
+    with pytest.raises(ParallelExecutionError, match="not picklable"):
+        MultiprocessExecutor(max_workers=2).map(closure, [1, 2])
+
+
+def test_dropped_index_is_detected():
+    class LossyExecutor(Executor):
+        def run_tasks(self, fn, items):
+            for index, item in enumerate(items):
+                if index != 1:
+                    yield index, fn(item)
+
+    with pytest.raises(ParallelExecutionError, match=r"indices \[1\]"):
+        LossyExecutor().map(square, [1, 2, 3])
+
+
+def test_get_executor_dispatch():
+    assert isinstance(get_executor(1), SerialExecutor)
+    pooled = get_executor(4)
+    assert isinstance(pooled, MultiprocessExecutor)
+    assert pooled.jobs == 4
+
+
+def test_invalid_worker_counts_raise():
+    with pytest.raises(ValueError, match="at least 1"):
+        get_executor(0)
+    with pytest.raises(ValueError):
+        MultiprocessExecutor(max_workers=0)

@@ -165,6 +165,34 @@ def test_step_budget_is_threaded_to_two_parameter_trial_fns():
     assert report.failures == 0
 
 
+def test_non_numeric_trial_value_is_classified_not_raised():
+    def stringy(seed: int):
+        return "not a number"
+
+    runner = RobustTrialRunner(trials=1, experiment="stringy",
+                               max_attempts=1)
+    report = runner.run(stringy)          # must not raise
+    (record,) = report.records
+    assert record.status == "error"
+    assert "non-numeric trial result" in record.error
+    assert "str" in record.error
+    assert report.failure_counts() == {"error": 1}
+
+
+def test_non_numeric_trial_value_is_retried():
+    attempts: list[int] = []
+
+    def flaky_type(seed: int):
+        attempts.append(seed)
+        return None if len(attempts) == 1 else 1.0
+
+    runner = RobustTrialRunner(trials=1, experiment="flakytype",
+                               max_attempts=2)
+    report = runner.run(flaky_type)
+    assert report.failures == 0
+    assert report.records[0].attempts == 2
+
+
 # -- journal / resume -------------------------------------------------------
 
 def test_journal_written_and_resume_skips_completed(tmp_path):
@@ -237,6 +265,34 @@ def test_journal_experiment_mismatch_raises(tmp_path):
                               journal_path=journal)
     with pytest.raises(TrialError, match="belongs to experiment"):
         other.run(lambda seed: 1.0, resume=True)
+
+
+def test_journal_trials_count_mismatch_raises(tmp_path):
+    journal = tmp_path / "journal.json"
+    RobustTrialRunner(trials=4, experiment="shape",
+                      journal_path=journal).run(lambda seed: 1.0)
+    shrunk = RobustTrialRunner(trials=2, experiment="shape",
+                               journal_path=journal)
+    with pytest.raises(TrialError, match="written for 4 trials, not 2"):
+        shrunk.run(lambda seed: 1.0, resume=True)
+
+
+def test_resume_with_all_trials_satisfied_rewrites_journal(tmp_path):
+    journal = tmp_path / "journal.json"
+    runner = RobustTrialRunner(trials=3, experiment="fullres",
+                               max_attempts=1, journal_path=journal)
+    runner.run(lambda seed: 1.0)
+    pristine = journal.read_bytes()
+
+    # Pollute the file with a stale extra key; a resume that satisfies every
+    # trial from the journal must still rewrite it in canonical form.
+    payload = json.loads(journal.read_text())
+    payload["stale_debug_field"] = True
+    journal.write_text(json.dumps(payload))
+
+    report = runner.run(lambda seed: 1.0, resume=True)
+    assert report.resumed == 3
+    assert journal.read_bytes() == pristine
 
 
 def test_corrupt_journal_raises_trial_error(tmp_path):
