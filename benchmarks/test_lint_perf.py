@@ -1,0 +1,51 @@
+"""Whole-project lint wall time: ``--project`` must stay cheap enough for CI.
+
+The DF7xx dataflow pass parses every file once, builds the project model,
+and iterates function summaries to a fixed point — all of which scales
+with repository size.  This benchmark lints the real ``src/``, ``tests/``,
+and ``benchmarks/`` trees, prints the wall-time breakdown, and enforces a
+generous ceiling so a quadratic regression in the model or the engine
+shows up as a failed benchmark rather than a stalled CI job.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.lint import run_project_lint, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TARGETS = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+
+#: Generous CI ceiling — the full pass runs in a few seconds locally.
+WALL_CEILING_S = 60.0
+
+
+def test_project_lint_wall_time(fig_printer):
+    start = time.perf_counter()  # simlint: disable=DET001
+    file_report = run_lint(TARGETS, root=REPO_ROOT)
+    file_only_s = time.perf_counter() - start  # simlint: disable=DET001
+
+    start = time.perf_counter()  # simlint: disable=DET001
+    report = run_project_lint(TARGETS, root=REPO_ROOT)
+    project_s = time.perf_counter() - start  # simlint: disable=DET001
+
+    assert report.files_checked == file_report.files_checked
+    assert report.findings == [], [str(f) for f in report.findings]
+
+    rows = [
+        f"{'mode':<24}{'files':>8}{'wall s':>10}",
+        f"{'file rules only':<24}{file_report.files_checked:>8}"
+        f"{file_only_s:>10.2f}",
+        f"{'--project (DF7xx)':<24}{report.files_checked:>8}"
+        f"{project_s:>10.2f}",
+        f"{'dataflow overhead':<24}{'':>8}"
+        f"{project_s - file_only_s:>10.2f}",
+    ]
+    fig_printer("whole-project lint wall time", "\n".join(rows))
+
+    assert project_s < WALL_CEILING_S, (
+        f"--project lint took {project_s:.1f}s over "
+        f"{report.files_checked} files (ceiling {WALL_CEILING_S:.0f}s)"
+    )

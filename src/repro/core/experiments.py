@@ -432,9 +432,12 @@ class RobustTrialRunner:
                 if (self.wall_budget_s is not None
                         and elapsed > self.wall_budget_s):
                     record.status = TRIAL_TIMEOUT
+                    # The measured elapsed time is host-dependent and must
+                    # stay out of the journaled message (journals are
+                    # byte-identical across hosts); it remains available
+                    # in-memory via record.duration_wall_s.
                     record.error = (
-                        f"wall budget {self.wall_budget_s:.1f}s exceeded "
-                        f"({elapsed:.1f}s)"
+                        f"wall budget {self.wall_budget_s:.1f}s exceeded"
                     )
                     # Retrying a too-slow trial would double the damage.
                     return record

@@ -8,10 +8,11 @@ of competing-app allocations, drawn from the injector's seeded stream.
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
 from repro.device import Device
 from repro.faults.plan import FaultTrace, MemoryPressureSpec, ThermalThrottleSpec
-from repro.sim import Environment
+from repro.sim import Environment, Event
 
 
 class ThermalThrottleInjector:
@@ -29,7 +30,7 @@ class ThermalThrottleInjector:
         self.trace = trace
         env.process(self._run())
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         previous = 0.0
         for t_s, cap in self.spec.schedule:
             yield self.env.timeout(t_s - previous)
@@ -57,7 +58,7 @@ class MemoryPressureInjector:
         self.trace = trace
         env.process(self._run())
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         spec = self.spec
         if spec.start_s > 0:
             yield self.env.timeout(spec.start_s)

@@ -9,6 +9,7 @@ transition into the trial's :class:`~repro.faults.plan.FaultTrace`.
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
 from repro.faults.plan import (
     BurstLossSpec,
@@ -17,7 +18,7 @@ from repro.faults.plan import (
     LinkFlapSpec,
 )
 from repro.netstack import Link
-from repro.sim import Environment
+from repro.sim import Environment, Event
 
 
 class GilbertElliottLossInjector:
@@ -34,7 +35,7 @@ class GilbertElliottLossInjector:
         self.trace = trace
         env.process(self._run())
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         spec = self.spec
         if spec.start_s > 0:
             yield self.env.timeout(spec.start_s)
@@ -65,7 +66,7 @@ class LinkFlapInjector:
         self.trace = trace
         env.process(self._run())
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         spec = self.spec
         if spec.start_s > 0:
             yield self.env.timeout(spec.start_s)
@@ -92,7 +93,7 @@ class LatencySpikeInjector:
         self.trace = trace
         env.process(self._run())
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         spec = self.spec
         if spec.start_s > 0:
             yield self.env.timeout(spec.start_s)

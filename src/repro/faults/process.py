@@ -9,10 +9,10 @@ the trial error taxonomy.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.faults.plan import CrashSpec, FaultTrace
-from repro.sim import Environment, Process
+from repro.sim import Environment, Event, Process
 
 
 class CrashInjector:
@@ -30,7 +30,7 @@ class CrashInjector:
         self.trace = trace
         env.process(self._run())
 
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         spec = self.spec
         # Draw the coin and the instant up front so the number of draws per
         # trial is fixed — replays stay aligned whatever the outcome.

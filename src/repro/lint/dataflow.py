@@ -1,0 +1,508 @@
+"""Forward taint/provenance framework over a :class:`ProjectModel`.
+
+This is deliberately *not* symbolic execution.  Values are abstracted to
+sets of string labels ("wallclock", "rng.unaudited", "pickle.lambda",
+...), and the only transfer functions are assignment, call, and return:
+
+* each function gets a **summary** — the label set of its return value,
+  where a parameter's contribution is recorded as a placeholder marker
+  so call sites can substitute the labels of the actual argument;
+* summaries are computed to a **fixed point** over the approximate call
+  graph (labels only ever grow, and the label universe is finite, so
+  iteration terminates);
+* a final **reporting pass** re-walks every function with the converged
+  summaries and lets the analysis inspect calls and attribute stores.
+
+Precision choices, all biased toward *no false positives*:
+
+* unknown names/attributes/calls carry no labels (benefit of the doubt);
+* branches are not joined path-sensitively — assignments union into the
+  variable's label set in source order, so a label acquired on any path
+  sticks (conservative, monotone);
+* objects are coarse: a constructor call unions its argument labels and
+  the class's own labels into one set for the whole instance, and an
+  attribute load propagates the instance's labels.  That is what lets a
+  tainted value ride a dataclass field across modules without per-field
+  tracking.
+
+Per-line ``# simlint: disable=DF7xx`` suppressions work exactly as for
+file rules; a finding that is a false positive in practice can always be
+waived at the line that triggers it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import AbstractSet, Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.lint.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+
+Labels = FrozenSet[str]
+EMPTY: Labels = frozenset()
+
+#: Marker prefix for "this return value carries parameter N's labels".
+_PARAM_MARK = "param#"
+
+
+def param_marker(index: int) -> str:
+    return f"{_PARAM_MARK}{index}"
+
+
+def is_param_marker(label: str) -> bool:
+    return label.startswith(_PARAM_MARK)
+
+
+def concrete(labels: Labels) -> Labels:
+    """Labels with parameter markers stripped (for sink checks)."""
+    return frozenset(l for l in labels if not is_param_marker(l))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a call to the function contributes to its result."""
+
+    #: Labels of the return value; may include parameter markers.
+    returns: Labels = EMPTY
+
+    def apply(self, arg_labels: List[Labels]) -> Labels:
+        """Substitute call-site argument labels for parameter markers."""
+        out: Set[str] = set()
+        for label in self.returns:
+            if is_param_marker(label):
+                index = int(label[len(_PARAM_MARK):])
+                if 0 <= index < len(arg_labels):
+                    out |= arg_labels[index]
+            else:
+                out.add(label)
+        return frozenset(out)
+
+
+class DataflowAnalysis:
+    """Hooks one analysis plugs into the shared engine.
+
+    Subclasses override the hooks they need; the defaults are inert.
+    One engine run serves exactly one analysis — rules that want
+    different source/propagation semantics run their own engine pass
+    (cheap: the parse and the project model are shared).
+    """
+
+    #: If true, a call the project cannot resolve propagates the union of
+    #: its argument labels to its result (right for value-deriving taint
+    #: like wall-clock time; wrong for object provenance like RNG-ness).
+    propagate_through_unknown_calls: bool = False
+
+    def param_labels(self, func: FunctionInfo, name: str,
+                     index: int) -> Labels:
+        """Labels a parameter carries on function entry (beyond its marker)."""
+        return EMPTY
+
+    def call_labels(self, resolved: Optional[str], node: ast.Call,
+                    arg_labels: List[Labels],
+                    engine: "DataflowEngine") -> Optional[Labels]:
+        """Source/sanitizer hook: labels produced by this call.
+
+        Return ``None`` to fall through to the default handling
+        (project-function summary substitution / constructor union /
+        unknown-call policy).
+        """
+        return None
+
+    def visit_call(self, func: FunctionInfo, node: ast.Call,
+                   resolved: Optional[str], evaluate: Callable[[ast.AST], Labels],
+                   engine: "DataflowEngine") -> None:
+        """Reporting-pass hook for every call expression."""
+
+    def visit_attr_store(self, func: FunctionInfo, node: ast.Attribute,
+                         target_labels: Labels, value_labels: Labels,
+                         engine: "DataflowEngine") -> None:
+        """Reporting-pass hook for ``obj.attr = value`` stores."""
+
+
+class DataflowEngine:
+    """Summary computation and reporting for one analysis."""
+
+    #: Hard cap on fixed-point sweeps; the label lattice is tiny, so
+    #: convergence is a few iterations — the cap only guards pathological
+    #: resolution cycles.
+    MAX_ITERATIONS = 12
+
+    def __init__(self, project: ProjectModel, analysis: DataflowAnalysis):
+        self.project = project
+        self.analysis = analysis
+        self.summaries: Dict[str, FunctionSummary] = {}
+        #: class qualname -> labels every instance carries (from the class
+        #: itself plus everything ever stored into its attributes).
+        self.class_labels: Dict[str, Set[str]] = {}
+        self._reporting = False
+        self._report: Optional[Callable[[ast.AST, str], None]] = None
+        self._current: Optional[FunctionInfo] = None
+
+    # -- public API -------------------------------------------------------
+
+    def compute(self) -> None:
+        """Run summary evaluation to a fixed point."""
+        for _ in range(self.MAX_ITERATIONS):
+            if not self._sweep():
+                break
+
+    def run_reports(self, report: Callable[[FunctionInfo, ast.AST, str],
+                                           None]) -> None:
+        """Re-walk every function, invoking the analysis's sink hooks."""
+        self._reporting = True
+        try:
+            for func in self.project.iter_functions():
+                self._current = func
+                self._report = (
+                    lambda node, message, _f=func: report(_f, node, message))
+                self._evaluate_function(func)
+        finally:
+            self._reporting = False
+            self._report = None
+            self._current = None
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Emit one finding at ``node`` (reporting pass only)."""
+        if self._report is not None:
+            self._report(node, message)
+
+    # -- fixed point ------------------------------------------------------
+
+    def _sweep(self) -> bool:
+        changed = False
+        for func in self.project.iter_functions():
+            self._current = func
+            summary = self._evaluate_function(func)
+            if self.summaries.get(func.qualname) != summary:
+                self.summaries[func.qualname] = summary
+                changed = True
+        self._current = None
+        return changed
+
+    def current_path(self) -> str:
+        """Display path of the function currently being walked."""
+        if self._current is None:
+            return "?"
+        return self.project.function_module(self._current).path
+
+    def instance_labels(self, class_qual: str) -> Labels:
+        return frozenset(self.class_labels.get(class_qual, ()))
+
+    def _merge_class_labels(self, class_qual: str, labels: Labels) -> None:
+        added = concrete(labels)
+        if not added:
+            return
+        current = self.class_labels.setdefault(class_qual, set())
+        current |= added
+
+    # -- per-function evaluation ------------------------------------------
+
+    def _evaluate_function(self, func: FunctionInfo) -> FunctionSummary:
+        module = self.project.function_module(func)
+        walker = _FunctionWalker(self, func, module)
+        return walker.run()
+
+
+class _FunctionWalker:
+    """One forward pass over a function body with a label environment."""
+
+    def __init__(self, engine: DataflowEngine, func: FunctionInfo,
+                 module: ModuleInfo):
+        self.engine = engine
+        self.analysis = engine.analysis
+        self.project = engine.project
+        self.func = func
+        self.module = module
+        self.env: Dict[str, Set[str]] = {}
+        self.returns: Set[str] = set()
+        #: Function/class defs local to this function (pickle hazards and
+        #: label carriers for names that reference them).
+        self.local_defs: Dict[str, ast.AST] = {}
+
+    def run(self) -> FunctionSummary:
+        node = self.func.node
+        params = self.func.params
+        for index, name in enumerate(params):
+            labels: Set[str] = {param_marker(index)}
+            labels |= self.analysis.param_labels(self.func, name, index)
+            self.env[name] = labels
+        for name in self.func.keyword_only_params:
+            labels = set(self.analysis.param_labels(self.func, name, -1))
+            self.env[name] = labels
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self._statement(stmt)
+        return FunctionSummary(returns=frozenset(self.returns))
+
+    # -- statements -------------------------------------------------------
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.local_defs[stmt.name] = stmt
+            return  # nested defs are walked by their own FunctionInfo, if any
+        if isinstance(stmt, ast.ClassDef):
+            self.local_defs[stmt.name] = stmt
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self.evaluate(stmt.value)
+            return
+        if isinstance(stmt, ast.Assign):
+            labels = self.evaluate(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, labels)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.evaluate(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            labels = self.evaluate(stmt.value) | self._load(stmt.target)
+            self._bind(stmt.target, labels)
+            return
+        if isinstance(stmt, (ast.Expr,)):
+            self.evaluate(stmt.value)
+            return
+        if isinstance(stmt, ast.For):
+            self._bind(stmt.target, self.evaluate(stmt.iter))
+            for sub in stmt.body + stmt.orelse:
+                self._statement(sub)
+            return
+        if isinstance(stmt, ast.While):
+            self.evaluate(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._statement(sub)
+            return
+        if isinstance(stmt, ast.If):
+            self.evaluate(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._statement(sub)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                labels = self.evaluate(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, labels)
+            for sub in stmt.body:
+                self._statement(sub)
+            return
+        if isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self._statement(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._statement(sub)
+            return
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.evaluate(stmt.exc)
+            return
+        # Remaining statement kinds (pass, import, global, assert, delete)
+        # either bind nothing or are handled at module level.
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.expr):
+                self.evaluate(value)
+
+    def _bind(self, target: ast.AST, labels: AbstractSet[str]) -> None:
+        labels = set(labels)
+        if isinstance(target, ast.Name):
+            # Union, not overwrite: a label acquired on any path sticks.
+            self.env.setdefault(target.id, set()).update(labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, labels)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels)
+        elif isinstance(target, ast.Attribute):
+            receiver = self._load(target.value)
+            # Stores onto self/instances feed the coarse class label set.
+            class_qual = self._receiver_class(target.value)
+            if class_qual is not None:
+                self.engine._merge_class_labels(class_qual, frozenset(labels))
+            if self.engine._reporting:
+                self.analysis.visit_attr_store(
+                    self.func, target, frozenset(receiver),
+                    frozenset(labels), self.engine)
+        elif isinstance(target, ast.Subscript):
+            self._bind(target.value, labels)
+
+    def _receiver_class(self, node: ast.AST) -> Optional[str]:
+        if (isinstance(node, ast.Name) and node.id == "self"
+                and self.func.class_name is not None):
+            return self.func.class_name
+        return None
+
+    def _load(self, node: ast.AST) -> Set[str]:
+        return set(self.evaluate(node))
+
+    # -- expressions ------------------------------------------------------
+
+    def evaluate(self, node: ast.AST) -> Labels:
+        """Label set of an expression (memoless, resolution-backed)."""
+        if isinstance(node, ast.Name):
+            if node.id in self.local_defs:
+                return self._local_def_labels(self.local_defs[node.id])
+            return frozenset(self.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            base = self.evaluate(node.value)
+            extra: Labels = EMPTY
+            if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                    and self.func.class_name is not None):
+                extra = self.engine.instance_labels(self.func.class_name)
+            return frozenset(concrete(base) | extra) | (base - concrete(base))
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Lambda):
+            self.evaluate(node.body)
+            return self._lambda_labels(node)
+        if isinstance(node, (ast.BinOp,)):
+            return self.evaluate(node.left) | self.evaluate(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.evaluate(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: Set[str] = set()
+            for value in node.values:
+                out |= self.evaluate(value)
+            return frozenset(out)
+        if isinstance(node, ast.Compare):
+            self.evaluate(node.left)
+            for comparator in node.comparators:
+                self.evaluate(comparator)
+            return EMPTY  # a comparison yields a bool, not the operands
+        if isinstance(node, ast.IfExp):
+            self.evaluate(node.test)
+            return self.evaluate(node.body) | self.evaluate(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self.evaluate(element)
+            return frozenset(out)
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                if key is not None:
+                    out |= self.evaluate(key)
+            for value in node.values:
+                out |= self.evaluate(value)
+            return frozenset(out)
+        if isinstance(node, ast.Subscript):
+            self.evaluate(node.slice)
+            return self.evaluate(node.value)
+        if isinstance(node, ast.Starred):
+            return self.evaluate(node.value)
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                out |= self.evaluate(value)
+            return frozenset(out)
+        if isinstance(node, ast.FormattedValue):
+            return self.evaluate(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                self._bind(generator.target, set(self.evaluate(generator.iter)))
+            return self.evaluate(node.elt)
+        if isinstance(node, ast.DictComp):
+            for generator in node.generators:
+                self._bind(generator.target, set(self.evaluate(generator.iter)))
+            self.evaluate(node.key)
+            return self.evaluate(node.value)
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            value = getattr(node, "value", None)
+            return self.evaluate(value) if value is not None else EMPTY
+        if isinstance(node, ast.NamedExpr):
+            labels = self.evaluate(node.value)
+            self._bind(node.target, set(labels))
+            return labels
+        return EMPTY
+
+    def _lambda_labels(self, node: ast.Lambda) -> Labels:
+        labels = self.analysis.call_labels("<lambda>", _fake_call(node), [],
+                                           self.engine)
+        return labels if labels is not None else EMPTY
+
+    def _local_def_labels(self, node: ast.AST) -> Labels:
+        kind = "<local-class>" if isinstance(node, ast.ClassDef) else "<local-def>"
+        labels = self.analysis.call_labels(kind, _fake_call(node), [],
+                                           self.engine)
+        return labels if labels is not None else EMPTY
+
+    def _call(self, node: ast.Call) -> Labels:
+        resolved = self.project.resolve_call(self.module, node, self.func)
+        arg_labels = [self.evaluate(arg) for arg in node.args]
+        keyword_labels = {
+            kw.arg: self.evaluate(kw.value) for kw in node.keywords
+        }
+        all_args: Set[str] = set()
+        for labels in arg_labels:
+            all_args |= labels
+        for labels in keyword_labels.values():
+            all_args |= labels
+        receiver: Labels = EMPTY
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.evaluate(node.func.value)
+
+        # Calls to function/class objects defined local to this function
+        # are themselves pickle-relevant; surface them through the hook.
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in self.local_defs):
+            local = self.local_defs[node.func.id]
+            if isinstance(local, ast.ClassDef):
+                resolved = "<local-class>"
+
+        if self.engine._reporting:
+            self.analysis.visit_call(self.func, node, resolved,
+                                     self.evaluate, self.engine)
+
+        hook = self.analysis.call_labels(
+            resolved, node, arg_labels, self.engine)
+        if hook is not None:
+            return hook
+
+        if resolved is not None:
+            if resolved in self.project.functions:
+                summary = self.engine.summaries.get(
+                    resolved, FunctionSummary())
+                return summary.apply(arg_labels)
+            class_info = self.project.class_of(resolved)
+            if class_info is not None:
+                return self._construct(class_info, node, arg_labels,
+                                       keyword_labels, all_args)
+        if self.analysis.propagate_through_unknown_calls:
+            return frozenset(concrete(all_args) | concrete(receiver))
+        return EMPTY
+
+    def _construct(self, class_info: ClassInfo, node: ast.Call,
+                   arg_labels: List[Labels],
+                   keyword_labels: Dict[Optional[str], Labels],
+                   all_args: Set[str]) -> Labels:
+        """Instance labels: class labels + coarse union of ctor args."""
+        instance = set(self.engine.instance_labels(class_info.qualname))
+        instance |= concrete(frozenset(all_args))
+        self.engine._merge_class_labels(class_info.qualname,
+                                        frozenset(instance))
+        return frozenset(instance)
+
+
+def _fake_call(node: ast.AST) -> ast.Call:
+    """Wrap a non-call node so hooks get a located Call-shaped argument."""
+    call = ast.Call(func=ast.Name(id="<synthetic>", ctx=ast.Load()),
+                    args=[], keywords=[])
+    call.lineno = getattr(node, "lineno", 1)
+    call.col_offset = getattr(node, "col_offset", 0)
+    return call
+
+
+__all__ = [
+    "DataflowAnalysis",
+    "DataflowEngine",
+    "EMPTY",
+    "FunctionSummary",
+    "Labels",
+    "concrete",
+    "is_param_marker",
+    "param_marker",
+]

@@ -18,11 +18,14 @@ def render_text(report: LintReport) -> str:
         for f in report.findings
     ]
     summary = report.by_severity()
+    baselined = (f", {report.baselined} baselined" if report.baselined
+                 else "")
     lines.append(
         f"checked {report.files_checked} file(s): "
         f"{len(report.findings)} finding(s) "
         f"({summary['error']} error, {summary['warning']} warning, "
         f"{summary['info']} info), {report.suppressed} suppressed"
+        f"{baselined}"
     )
     return "\n".join(lines)
 

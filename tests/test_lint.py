@@ -8,7 +8,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import ALL_RULES, Severity, run_lint, rules_by_id
+from repro.lint import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    Severity,
+    run_lint,
+    rules_by_id,
+)
 from repro.lint.cli import main as lint_main
 from repro.lint.engine import PARSE_ERROR_RULE, select_rules
 from repro.lint.reporters import render_json, render_text
@@ -334,6 +340,17 @@ def test_blanket_suppression(tmp_path):
     assert report.suppressed == 2
 
 
+def test_multiple_suppressions_on_one_line(tmp_path):
+    report = lint_source(tmp_path, """
+        import time, random
+
+        def noisy():
+            return time.time() + random.random()  # simlint: disable=DET001,DET002
+        """)
+    assert report.findings == []
+    assert report.suppressed == 2
+
+
 def test_suppression_is_rule_specific(tmp_path):
     report = lint_source(tmp_path, """
         import time
@@ -368,7 +385,7 @@ def test_json_report_shape(tmp_path):
     assert payload["version"] == 1
     assert set(payload) == {"version", "summary", "findings"}
     assert set(payload["summary"]) == {
-        "files", "findings", "suppressed", "by_severity",
+        "files", "findings", "suppressed", "baselined", "by_severity",
     }
     assert set(payload["summary"]["by_severity"]) == {
         "error", "warning", "info",
@@ -380,6 +397,27 @@ def test_json_report_shape(tmp_path):
     assert finding["rule"] == "DET001"
     assert finding["severity"] == "error"
     assert finding["line"] >= 1
+
+
+def test_empty_report_renders_cleanly(tmp_path):
+    report = lint_source(tmp_path, CLEAN["DET001"])
+    assert report.findings == []
+    text = render_text(report)
+    assert text == (
+        "checked 1 file(s): 0 finding(s) "
+        "(0 error, 0 warning, 0 info), 0 suppressed"
+    )
+    payload = json.loads(render_json(report))
+    assert payload["findings"] == []
+    assert payload["summary"]["findings"] == 0
+    assert payload["summary"]["baselined"] == 0
+
+
+def test_json_report_round_trips_byte_identically(tmp_path):
+    first = render_json(lint_source(tmp_path, FLAGGED["DET001"]))
+    second = render_json(lint_source(tmp_path, FLAGGED["DET001"]))
+    assert first == second
+    assert json.dumps(json.loads(first), indent=2, sort_keys=True) == first
 
 
 def test_text_report_mentions_rule_and_location(tmp_path):
@@ -472,4 +510,6 @@ def test_dispatch_through_main_cli(tmp_path, capsys):
 
 def test_rules_by_id_round_trip():
     table = rules_by_id()
-    assert set(table) == {rule.id for rule in ALL_RULES}
+    assert set(table) == {
+        rule.id for rule in ALL_RULES + ALL_PROJECT_RULES
+    }

@@ -49,8 +49,8 @@ def test_empty_item_list_is_fine():
 def test_single_item_skips_the_pool():
     # One item never justifies worker spawn; the serial fallback also means
     # lambdas survive, which would be unpicklable in the pool path.
-    assert MultiprocessExecutor(max_workers=4).map(lambda x: x + 1, [41]) \
-        == [42]
+    single = MultiprocessExecutor(max_workers=4)
+    assert single.map(lambda x: x + 1, [41]) == [42]  # simlint: disable=DF703
 
 
 def test_task_exceptions_propagate():
@@ -70,7 +70,7 @@ def test_unpicklable_fn_is_a_parallel_execution_error():
         return x
 
     with pytest.raises(ParallelExecutionError, match="not picklable"):
-        MultiprocessExecutor(max_workers=2).map(closure, [1, 2])
+        MultiprocessExecutor(max_workers=2).map(closure, [1, 2])  # simlint: disable=DF703
 
 
 def test_dropped_index_is_detected():
