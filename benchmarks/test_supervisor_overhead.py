@@ -1,0 +1,72 @@
+"""Supervision overhead: SupervisedExecutor vs bare MultiprocessExecutor.
+
+The supervisor's dispatch loop (windowed submission, deadline tracking,
+signal bookkeeping) runs in the parent while workers do the real
+per-task compute, so on a clean run its cost must disappear into the
+noise.  This benchmark runs the identical task batch through both pool
+executors and asserts the supervised run stays within 5% of the bare
+one (with an absolute floor so sub-second batches don't fail on
+scheduler jitter).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.background import make_rng
+from repro.parallel import MultiprocessExecutor, SupervisedExecutor
+from repro.sim import Environment
+
+TASKS = 16
+JOBS = 4
+#: Allowed supervised-vs-bare slowdown on a clean run.
+MAX_OVERHEAD = 0.05
+#: Absolute jitter floor: differences below this are scheduler noise,
+#: not supervision cost.
+JITTER_FLOOR_S = 0.5
+
+
+def kernel_task(seed: int) -> float:
+    """~0.15s of event-loop work per task — figure-trial shaped."""
+    env = Environment()
+    rng = make_rng(seed)
+
+    def spin():
+        for _ in range(100_000):
+            yield env.timeout(rng.uniform(0.1, 1.0))
+
+    env.run(env.process(spin()))
+    return env.now
+
+
+def run_batch(executor) -> tuple[float, list]:
+    start = time.perf_counter()  # simlint: disable=DET001
+    results = executor.map(kernel_task, list(range(TASKS)))
+    elapsed = time.perf_counter() - start  # simlint: disable=DET001
+    return elapsed, results
+
+
+def test_supervisor_overhead(fig_printer):
+    # Bare first, then supervised, after a warm-up batch that pays the
+    # one-time interpreter/fork costs for both.
+    run_batch(MultiprocessExecutor(JOBS))
+    bare_s, bare_results = run_batch(MultiprocessExecutor(JOBS))
+    supervised = SupervisedExecutor(JOBS, poll_interval_s=0.02)
+    supervised_s, supervised_results = run_batch(supervised)
+
+    overhead = supervised_s / bare_s - 1.0
+    body = "\n".join([
+        f"tasks               {TASKS}",
+        f"host cores          {os.cpu_count() or 1}",
+        f"bare pool           {bare_s:8.3f} s",
+        f"supervised pool     {supervised_s:8.3f} s",
+        f"overhead            {overhead:8.1%}  (budget {MAX_OVERHEAD:.0%})",
+    ])
+    fig_printer("Supervised executor overhead on a clean run", body)
+
+    # Same results, no supervision events, bounded overhead.
+    assert supervised_results == bare_results
+    assert supervised.last_supervision.clean
+    assert (supervised_s - bare_s) < max(MAX_OVERHEAD * bare_s,
+                                         JITTER_FLOOR_S)

@@ -9,6 +9,7 @@ Usage::
     python -m repro joint                # §6 extension studies
     python -m repro faults               # degraded-condition sweeps
     python -m repro faults --jobs 4      # same rows, 4 worker processes
+    python -m repro faults --jobs 4 --task-timeout 300   # hung-task guard
     python -m repro faults --journal out/j --resume   # continue a run
     python -m repro lint --format json   # simlint static analysis
     python -m repro trace fig2a --out trace.json      # Perfetto trace
@@ -43,10 +44,19 @@ def _maybe_csv(args, name: str, headers, rows) -> None:
 
 
 def _executor(args):
-    """The trial executor selected by ``--jobs`` (serial for 1)."""
+    """The trial executor selected by ``--jobs`` (serial for 1).
+
+    For ``--jobs N > 1`` this is a supervised executor (worker-crash
+    recovery, hung-task timeout, poison-task quarantine, SIGINT/SIGTERM
+    drain); ``--task-timeout`` and ``--max-task-retries`` tune it.
+    """
     from repro.parallel import get_executor
 
-    return get_executor(args.jobs)
+    return get_executor(
+        args.jobs,
+        task_timeout_s=args.task_timeout,
+        max_task_retries=args.max_task_retries,
+    )
 
 
 def cmd_table1(args) -> None:
@@ -343,8 +353,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="media session length in seconds (paper: 300)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for trial fan-out "
-                             "(1 = serial; output is byte-identical "
-                             "for any value)")
+                             "(1 = serial; N > 1 is supervised — worker "
+                             "crashes and hangs are retried, not fatal; "
+                             "output is byte-identical for any value)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock budget for supervised "
+                             "fan-out; hung tasks are cancelled and "
+                             "reassigned (requires --jobs > 1)")
+    parser.add_argument("--max-task-retries", type=int, default=None,
+                        metavar="K",
+                        help="faulted dispatches before a task is "
+                             "quarantined as failed (default 3; requires "
+                             "--jobs > 1)")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write the series as CSV under DIR")
     parser.add_argument("--journal", metavar="DIR", default=None,
@@ -385,6 +406,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"error: --jobs must be at least 1 (got {args.jobs})",
               file=sys.stderr)
         return 2
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        print(f"error: --task-timeout must be positive "
+              f"(got {args.task_timeout})", file=sys.stderr)
+        return 2
+    if args.max_task_retries is not None and args.max_task_retries < 0:
+        print(f"error: --max-task-retries cannot be negative "
+              f"(got {args.max_task_retries})", file=sys.stderr)
+        return 2
+    if args.jobs == 1 and (args.task_timeout is not None
+                           or args.max_task_retries is not None):
+        print("error: --task-timeout/--max-task-retries require "
+              "supervised fan-out (--jobs 2 or more)", file=sys.stderr)
+        return 2
     if args.resume and not args.journal:
         print("error: --resume requires --journal DIR", file=sys.stderr)
         return 2
@@ -394,6 +428,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
     try:
         _COMMANDS[args.figure](args)
+    except KeyboardInterrupt:
+        # The supervised executor drains in-flight results and flushes
+        # the journal before this propagates, so --resume picks up where
+        # the interrupted sweep left off.
+        print("interrupted: journaled trials are resumable via "
+              "--journal DIR --resume", file=sys.stderr)
+        return 130
     except Exception as error:  # noqa: BLE001 - one-line message, no traceback
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -14,7 +14,8 @@ failure counts through :class:`~repro.analysis.stats.Summary` so figures
 render from the trials that succeeded.
 
 Both runners dispatch trials through a :class:`repro.parallel.Executor`
-(serial by default, ``MultiprocessExecutor`` for ``--jobs N``).  Because
+(serial by default, a fault-tolerant
+:class:`~repro.parallel.SupervisedExecutor` for ``--jobs N``).  Because
 every trial is a pure function of ``(experiment, trial)``, fan-out is
 invisible in the output: records are keyed by trial index and merged in
 trial order, workers return :class:`TrialRecord` values, and only the
@@ -51,7 +52,14 @@ from typing import Callable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.stats import Summary, summarize
 from repro.obs import MetricsRegistry, merge_snapshots
-from repro.parallel import Executor, SerialExecutor
+from repro.parallel import (
+    Executor,
+    QuarantinedTask,
+    SerialExecutor,
+    SupervisionReport,
+    TASK_HANG,
+    WORKER_CRASH,
+)
 from repro.sim import Interrupt, SimDeadlock, StepBudgetExceeded
 
 T = TypeVar("T")
@@ -183,6 +191,13 @@ class RobustRunReport:
     trials: int
     records: list[TrialRecord] = field(default_factory=list)
     resumed: int = 0  #: trials satisfied from the journal, not re-executed
+    quarantined: int = 0  #: trials the executor's supervisor gave up on
+    #: Host-level supervision stats of the run (pool rebuilds, task
+    #: retries), when the executor is supervised.  Deliberately absent
+    #: from journals: how often the pool broke is a fact about the host,
+    #: not the experiment — the same policy that keeps
+    #: ``duration_wall_s`` out of the v3 journal schema.
+    supervision: Optional[SupervisionReport] = None
 
     @property
     def values(self) -> list[float]:
@@ -249,9 +264,13 @@ class RobustTrialRunner:
     every trial was satisfied from it.
 
     ``executor`` selects the dispatch layer (default
-    :class:`~repro.parallel.SerialExecutor`).  With a
-    :class:`~repro.parallel.MultiprocessExecutor`, ``trial_fn`` must be
-    picklable (a module-level function or class instance).
+    :class:`~repro.parallel.SerialExecutor`).  With a multiprocess
+    executor, ``trial_fn`` must be picklable (a module-level function or
+    class instance).  A :class:`~repro.parallel.SupervisedExecutor` may
+    additionally quarantine a trial after repeated *host-level* faults
+    (worker crash, hang, unpicklable result); quarantined trials are
+    classified into the same crash/timeout/error taxonomy and journaled
+    as ordinary failures, so ``--resume`` re-runs them.
     """
 
     def __init__(
@@ -388,16 +407,53 @@ class RobustTrialRunner:
                           pass_budget=pass_budget, pass_metrics=pass_metrics)
         # Workers hand records back; only this (parent) process merges them
         # and touches the journal file.  The merge is keyed by trial index,
-        # so completion order never reaches the output.
-        for _, record in self.executor.run_tasks(task, pending):
+        # so completion order never reaches the output.  A supervised
+        # executor may yield a QuarantinedTask placeholder instead of a
+        # record — a trial the supervisor retired after repeated
+        # host-level faults — which classifies into the ordinary failure
+        # taxonomy below.  The journal is flushed after every record, so
+        # a KeyboardInterrupt out of the executor's signal drain leaves a
+        # resumable journal behind.
+        for index, result in self.executor.run_tasks(task, pending):
+            if isinstance(result, QuarantinedTask):
+                record = self._quarantined_record(pending[index], result)
+                report.quarantined += 1
+            else:
+                record = result
             records[record.trial] = record
             self._write_journal(records)
+        report.supervision = getattr(self.executor, "last_supervision", None)
         if not pending:
             # Every trial was satisfied from the journal: rewrite it anyway
             # so the header (version, trials) never goes stale.
             self._write_journal(records)
         report.records = [records[k] for k in sorted(records)]
         return report
+
+    def _quarantined_record(self, trial: int,
+                            quarantined: QuarantinedTask) -> TrialRecord:
+        """Classify a supervisor-quarantined trial into the record taxonomy.
+
+        A worker crash is a crash, a hung task is a timeout, and a task
+        error is an error — the host-level taxonomy folds into the same
+        statuses sim-level failures use, so tables, ``failure_counts``
+        and resume (failed rows re-run) behave identically.  The error
+        text is deterministic (attempt counts come from the fault plan,
+        never from host timing), which keeps journals byte-identical
+        across runs whenever the faults themselves are deterministic.
+        """
+        status = {
+            WORKER_CRASH: TRIAL_CRASH,
+            TASK_HANG: TRIAL_TIMEOUT,
+        }.get(quarantined.kind, TRIAL_ERROR)
+        return TrialRecord(
+            trial=trial,
+            seed=derive_seed(self.experiment, trial),
+            status=status,
+            error=(f"quarantined after {quarantined.attempts} faulted "
+                   f"dispatches ({quarantined.kind}): {quarantined.error}"),
+            attempts=quarantined.attempts,
+        )
 
     def _run_trial(self, trial_fn: Callable, trial: int,
                    pass_budget: bool, pass_metrics: bool = False) -> TrialRecord:

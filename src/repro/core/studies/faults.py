@@ -11,6 +11,13 @@ study.
 Every point is deterministic: trial ``i`` of a sweep position derives its
 seed from the experiment name, the fault plan draws from child streams of
 that seed, and re-running produces identical metrics and fault traces.
+
+The faults injected here live *inside* the simulation (sim-time loss
+bursts, throttling, crashes).  Host-level faults — a worker process dying
+under ``--jobs N`` — are handled one layer down by
+:class:`repro.parallel.SupervisedExecutor`: the runner journals a
+quarantined trial as an ordinary crash/timeout/error row, so the two
+fault layers share one failure taxonomy (see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations

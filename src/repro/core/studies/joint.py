@@ -24,7 +24,7 @@ from repro.analysis.stats import Summary, summarize
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, NEXUS4
 from repro.netstack import HostStack, HttpClient, Link, LinkSpec
-from repro.parallel import Executor, SerialExecutor
+from repro.parallel import Executor, SerialExecutor, drop_quarantined
 from repro.sim import Environment
 from repro.web import BrowserEngine
 from repro.web.costmodel import browser_profile
@@ -99,13 +99,18 @@ def joint_network_device_grid(
     for mbps in bandwidths_mbps:
         link_spec = LinkSpec(goodput_bps=mbps * 1e6)
         for mhz in clocks_mhz:
-            results = executor.map(_GridLoadTask(spec, link_spec, mhz), pages)
+            # drop_quarantined: supervised executors may retire a page
+            # load after repeated host faults; the cell averages whatever
+            # loads survived (n=0 renders "n/a", times fall back to 0).
+            results = drop_quarantined(
+                executor.map(_GridLoadTask(spec, link_spec, mhz), pages))
+            n = len(results) or 1
             points.append(JointPoint(
                 bandwidth_mbps=mbps,
                 clock_mhz=mhz,
                 plt=summarize([r.plt for r in results]),
-                compute_time=sum(r.compute_time for r in results) / len(results),
-                network_time=sum(r.network_time for r in results) / len(results),
+                compute_time=sum(r.compute_time for r in results) / n,
+                network_time=sum(r.network_time for r in results) / n,
             ))
     return points
 
@@ -145,10 +150,10 @@ def tls_overhead(
     link_spec = LinkSpec()
     points = []
     for mhz in clocks_mhz:
-        tls_on = executor.map(
-            _GridLoadTask(spec, link_spec, mhz, tls=True), pages)
-        tls_off = executor.map(
-            _GridLoadTask(spec, link_spec, mhz, tls=False), pages)
+        tls_on = drop_quarantined(executor.map(
+            _GridLoadTask(spec, link_spec, mhz, tls=True), pages))
+        tls_off = drop_quarantined(executor.map(
+            _GridLoadTask(spec, link_spec, mhz, tls=False), pages))
         points.append(TlsPoint(
             clock_mhz=mhz,
             plt_tls=summarize([r.plt for r in tls_on]),
@@ -177,11 +182,11 @@ def browsers_vs_clock(
     for browser_name in browsers:
         table[browser_name] = {}
         for mhz in clocks_mhz:
-            results = executor.map(
+            results = drop_quarantined(executor.map(
                 _GridLoadTask(spec, link_spec, mhz,
                               browser_name=browser_name),
                 pages,
-            )
+            ))
             table[browser_name][mhz] = summarize([r.plt for r in results])
     return table
 

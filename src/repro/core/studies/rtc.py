@@ -10,7 +10,7 @@ from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
-from repro.parallel import Executor, SerialExecutor
+from repro.parallel import Executor, SerialExecutor, drop_quarantined
 from repro.rtc import CallConfig, CallResult, VideoCall
 from repro.sim import Environment
 
@@ -58,10 +58,12 @@ class RtcStudy:
                **device_kwargs) -> CallPoint:
         seeds = [derive_seed(experiment, t)
                  for t in range(self.config.trials)]
-        results = self.executor.map(
+        # Quarantined trials (supervised executors only) shrink n rather
+        # than failing the sweep — same degradation as sim-level faults.
+        results = drop_quarantined(self.executor.map(
             _CallTask(study=self, spec=spec, device_kwargs=device_kwargs),
             seeds,
-        )
+        ))
         return CallPoint(
             label=label,
             setup_delay=summarize([r.setup_delay_s for r in results]),

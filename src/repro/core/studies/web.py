@@ -17,7 +17,7 @@ from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
 from repro.netstack import Link, LinkSpec
-from repro.parallel import Executor, SerialExecutor
+from repro.parallel import Executor, SerialExecutor, drop_quarantined
 from repro.sim import Environment
 from repro.web import BrowserEngine, PageLoadResult
 from repro.workloads import generate_corpus
@@ -88,8 +88,11 @@ class WebStudy:
                  for trial in range(self.config.trials)]
         out: list[PageLoadResult] = []
         # map() returns trial-order results whatever the completion order,
-        # so the flattened list matches the serial loop exactly.
-        for trial_results in self.executor.map(task, seeds):
+        # so the flattened list matches the serial loop exactly.  A
+        # supervised executor may quarantine a trial after repeated
+        # host-level faults; the sweep then summarizes the trials that
+        # survived (smaller n), mirroring how sim-level failures degrade.
+        for trial_results in drop_quarantined(self.executor.map(task, seeds)):
             out.extend(trial_results)
         return out
 
@@ -123,16 +126,20 @@ class WebStudy:
         points = []
         for mhz in ladder:
             results = self._results(spec, f"fig3a:{mhz}", pinned_mhz=mhz)
+            # Every trial of a point can be quarantined under host faults;
+            # the shares then render as 0 next to an "n/a (n=0)" summary
+            # instead of dividing by zero.
+            n = len(results) or 1
             points.append(ClockSweepPoint(
                 clock_mhz=mhz,
                 plt=summarize([r.plt for r in results]),
                 compute_time=summarize([r.compute_time for r in results]),
                 network_time=summarize([r.network_time for r in results]),
                 scripting_share=(
-                    sum(r.scripting_share for r in results) / len(results)
+                    sum(r.scripting_share for r in results) / n
                 ),
                 layout_paint_share=(
-                    sum(r.layout_paint_share for r in results) / len(results)
+                    sum(r.layout_paint_share for r in results) / n
                 ),
             ))
         return points

@@ -136,7 +136,10 @@ from repro.lint.rules.determinism import (  # noqa: E402
 )
 from repro.lint.rules.faults import SeededFaultInjectionRule  # noqa: E402
 from repro.lint.rules.obs import RawSpanPairRule  # noqa: E402
-from repro.lint.rules.parallel import RawProcessFanoutRule  # noqa: E402
+from repro.lint.rules.parallel import (  # noqa: E402
+    RawProcessFanoutRule,
+    RawSignalHandlerRule,
+)
 from repro.lint.rules.simapi import (  # noqa: E402
     BlockingCallRule,
     KernelStateMutationRule,
@@ -159,6 +162,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     SeededFaultInjectionRule(),
     RawSpanPairRule(),
     RawProcessFanoutRule(),
+    RawSignalHandlerRule(),
 )
 
 

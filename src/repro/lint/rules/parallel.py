@@ -30,6 +30,13 @@ _RAW_FANOUT_CALLS = frozenset({
 _RAW_FANOUT_SUFFIXES = frozenset({"ProcessPoolExecutor"})
 
 
+#: Dotted call targets that register signal handlers directly.
+_RAW_SIGNAL_CALLS = frozenset({
+    "signal.signal",
+    "signal.sigaction",
+})
+
+
 class RawProcessFanoutRule(Rule):
     """PAR601: worker processes are spawned only inside ``repro.parallel``."""
 
@@ -65,4 +72,38 @@ class RawProcessFanoutRule(Rule):
                 )
 
 
-__all__ = ["RawProcessFanoutRule"]
+class RawSignalHandlerRule(Rule):
+    """PAR602: signal handlers are registered only in the supervisor."""
+
+    id = "PAR602"
+    severity = Severity.ERROR
+    title = "signal handler registration outside repro.parallel.supervisor"
+    rationale = (
+        "SIGINT/SIGTERM handling is centralized in "
+        "repro.parallel.supervisor, which drains in-flight results and "
+        "lets the runner flush the journal before KeyboardInterrupt "
+        "propagates; a second signal.signal() call elsewhere silently "
+        "replaces (or is replaced by) the supervisor's handler and "
+        "breaks the drain-then-resume contract."
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        # The supervisor is the one sanctioned home of signal handling.
+        return "parallel/supervisor" not in context.norm_path
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _RAW_SIGNAL_CALLS:
+                yield self.finding(
+                    context, node,
+                    f"{name}() registers a signal handler directly; "
+                    f"signal handling is centralized in "
+                    f"repro.parallel.supervisor (drain in-flight results, "
+                    f"flush the journal, then raise KeyboardInterrupt)",
+                )
+
+
+__all__ = ["RawProcessFanoutRule", "RawSignalHandlerRule"]

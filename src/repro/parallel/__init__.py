@@ -1,17 +1,40 @@
-"""Deterministic trial fan-out (see :mod:`repro.parallel.executors`)."""
+"""Deterministic trial fan-out (see :mod:`repro.parallel.executors`).
+
+``repro.parallel.supervisor`` adds the fault-tolerant production path
+(pool rebuild, hung-task timeout, poison-task quarantine, signal drain);
+``repro.parallel.chaos`` is the deterministic host-fault test harness.
+"""
 
 from repro.parallel.executors import (
     Executor,
     MultiprocessExecutor,
     ParallelExecutionError,
     SerialExecutor,
+    ensure_picklable,
     get_executor,
+)
+from repro.parallel.supervisor import (
+    TASK_ERROR,
+    TASK_HANG,
+    WORKER_CRASH,
+    QuarantinedTask,
+    SupervisedExecutor,
+    SupervisionReport,
+    drop_quarantined,
 )
 
 __all__ = [
     "Executor",
     "MultiprocessExecutor",
     "ParallelExecutionError",
+    "QuarantinedTask",
     "SerialExecutor",
+    "SupervisedExecutor",
+    "SupervisionReport",
+    "TASK_ERROR",
+    "TASK_HANG",
+    "WORKER_CRASH",
+    "drop_quarantined",
+    "ensure_picklable",
     "get_executor",
 ]

@@ -8,7 +8,7 @@ list, results come back keyed by item index, and callers merge them in
 index order, so the output of a sweep is byte-identical for any worker
 count.
 
-Two implementations share one contract:
+Three implementations share one contract:
 
 * :class:`SerialExecutor` — in-process, in-order; the default everywhere,
   and the reference behavior the multiprocess path must reproduce.
@@ -18,6 +18,11 @@ Two implementations share one contract:
   must be picklable (module-level functions or instances of module-level
   classes — not lambdas or closures).  Completion order is
   nondeterministic; the index keying is what restores determinism.
+* :class:`~repro.parallel.supervisor.SupervisedExecutor` — the
+  production fan-out: the same pool semantics wrapped in a supervisor
+  that rebuilds a broken pool, times out hung tasks, quarantines poison
+  tasks, and drains cleanly on SIGINT/SIGTERM.  ``get_executor`` returns
+  it for ``--jobs N > 1``.
 
 Workers never touch shared files: journals, CSVs, and figure tables are
 written by the parent after the merge (see
@@ -30,11 +35,28 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Iterable, Iterator, Sequence, Tuple
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
 
 class ParallelExecutionError(RuntimeError):
     """Fan-out infrastructure failure (not a task-level error)."""
+
+
+def ensure_picklable(fn: Callable[[Any], Any]) -> None:
+    """Pre-flight check that ``fn`` can cross the process boundary.
+
+    A lambda or closure fails deep inside the pool machinery with an
+    obscure traceback; checking up front turns that into a pointed
+    :class:`ParallelExecutionError` before any worker is spawned.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as error:
+        raise ParallelExecutionError(
+            f"task {fn!r} is not picklable and cannot cross the "
+            f"process boundary (use a module-level function or class "
+            f"instance, not a lambda/closure): {error}"
+        ) from error
 
 
 class Executor:
@@ -100,15 +122,9 @@ class MultiprocessExecutor(Executor):
         if workers == 1:
             yield from SerialExecutor().run_tasks(fn, work)
             return
+        ensure_picklable(fn)
+        pool = ProcessPoolExecutor(max_workers=workers)
         try:
-            pickle.dumps(fn)
-        except Exception as error:
-            raise ParallelExecutionError(
-                f"task {fn!r} is not picklable and cannot cross the "
-                f"process boundary (use a module-level function or class "
-                f"instance, not a lambda/closure): {error}"
-            ) from error
-        with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {pool.submit(fn, item): index
                        for index, item in enumerate(work)}
             while pending:
@@ -116,15 +132,51 @@ class MultiprocessExecutor(Executor):
                 for future in done:
                     index = pending.pop(future)
                     yield index, future.result()
+        finally:
+            # A task exception (or an abandoned generator) must not leave
+            # orphaned workers grinding through the rest of the queue: a
+            # plain `with` block would shutdown(wait=True) and block on
+            # every still-pending task instead.
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
-def get_executor(jobs: int = 1) -> Executor:
-    """``--jobs`` to executor: 1 is serial, N>1 is N worker processes."""
+def get_executor(
+    jobs: int = 1,
+    *,
+    task_timeout_s: Optional[float] = None,
+    max_task_retries: Optional[int] = None,
+    supervised: bool = True,
+) -> Executor:
+    """``--jobs`` to executor: 1 is serial, N>1 is N worker processes.
+
+    For ``jobs > 1`` the default is a
+    :class:`~repro.parallel.supervisor.SupervisedExecutor` (pool rebuild
+    on worker crash, hung-task timeout, poison-task quarantine, signal
+    drain); pass ``supervised=False`` for the bare
+    :class:`MultiprocessExecutor`.  ``task_timeout_s`` and
+    ``max_task_retries`` tune the supervisor and are rejected for the
+    unsupervised paths.
+    """
     if jobs < 1:
         raise ValueError(f"--jobs must be at least 1 (got {jobs})")
-    if jobs == 1:
-        return SerialExecutor()
-    return MultiprocessExecutor(jobs)
+    if jobs == 1 or not supervised:
+        if task_timeout_s is not None or max_task_retries is not None:
+            raise ValueError(
+                "task_timeout_s/max_task_retries require a supervised "
+                "multiprocess executor (jobs > 1, supervised=True)"
+            )
+        return SerialExecutor() if jobs == 1 else MultiprocessExecutor(jobs)
+    # Function-level import: the supervisor builds on this module's
+    # Executor contract, so the dependency must point one way at import
+    # time.
+    from repro.parallel.supervisor import SupervisedExecutor
+
+    kwargs: dict = {}
+    if task_timeout_s is not None:
+        kwargs["task_timeout_s"] = task_timeout_s
+    if max_task_retries is not None:
+        kwargs["max_task_retries"] = max_task_retries
+    return SupervisedExecutor(jobs, **kwargs)
 
 
 __all__ = [
@@ -132,5 +184,6 @@ __all__ = [
     "MultiprocessExecutor",
     "ParallelExecutionError",
     "SerialExecutor",
+    "ensure_picklable",
     "get_executor",
 ]

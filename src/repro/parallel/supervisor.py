@@ -1,0 +1,462 @@
+"""Supervised fan-out: survive host-level faults without losing determinism.
+
+``MultiprocessExecutor`` is fast but brittle: one worker killed by the
+OOM killer raises ``BrokenProcessPool`` and destroys hours of sweep
+progress, and a single hung task stalls the run forever.
+:class:`SupervisedExecutor` wraps the same ``ProcessPoolExecutor``
+fan-out in a supervision loop that
+
+* **rebuilds a broken pool** and re-dispatches only the unfinished task
+  indices (completed results are never re-run);
+* **enforces a per-task wall-clock budget** (``task_timeout_s``) — a
+  hung task's pool is killed and every casualty is reassigned to a
+  fresh pool;
+* **quarantines poison tasks**: a task that keeps faulting is retired
+  after ``max_task_retries`` faulted dispatches as a typed
+  :class:`QuarantinedTask` (taxonomy :data:`WORKER_CRASH` /
+  :data:`TASK_HANG` / :data:`TASK_ERROR`) instead of failing the sweep;
+* **drains on SIGINT/SIGTERM**: in-flight results are collected and
+  yielded (so the caller journals them) before ``KeyboardInterrupt`` is
+  raised, which makes an interrupted sweep resume cleanly via the
+  journal ``--resume`` path.
+
+Determinism is untouched: every trial is a pure function of its task
+item, so re-dispatching a task after a crash reproduces the identical
+result, and the index keying of the :class:`~repro.parallel.Executor`
+contract keeps completion order out of the output.  The acceptance
+property (see ``tests/test_parallel_supervisor.py``) is that a
+chaos-afflicted run's journal is *byte-identical* to a serial run's.
+
+Supervision events are host-level facts (how often the pool broke on
+this machine) and therefore deliberately stay out of journals — the same
+policy that keeps ``duration_wall_s`` out of the v3 journal schema.
+They are observable through the ``parallel.*`` metrics namespace
+(``parallel.pool_rebuilds``, ``parallel.task_retries``,
+``parallel.quarantined`` counters and the ``parallel.live_workers``
+gauge) and through :attr:`SupervisedExecutor.last_supervision`.
+
+This module is the only place in the codebase allowed to register
+signal handlers — simlint rule PAR602 enforces that, the way PAR601
+pins process fan-out to ``repro.parallel``.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from collections import deque
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics, NULL_METRICS
+from repro.parallel.executors import Executor, ensure_picklable
+
+#: Quarantine taxonomy: why the supervisor gave up on a task.
+WORKER_CRASH = "worker_crash"  #: the worker process died (pool broken)
+TASK_HANG = "task_hang"        #: the task exceeded ``task_timeout_s``
+TASK_ERROR = "task_error"      #: the task raised (or its result would not pickle)
+
+_QUARANTINE_KINDS = frozenset({WORKER_CRASH, TASK_HANG, TASK_ERROR})
+
+#: Exceptions that mean "the pool itself died", not "the task failed".
+_POOL_FAILURES = (BrokenProcessPool, CancelledError)
+
+
+@dataclass(frozen=True)
+class QuarantinedTask:
+    """Typed placeholder yielded for a task the supervisor retired.
+
+    Sits in the result stream where the real result would be, so callers
+    (``RobustTrialRunner``, the studies) can classify the loss into
+    their own failure taxonomy instead of the whole sweep failing.
+    """
+
+    index: int     #: task index in the submitted item list
+    kind: str      #: one of :data:`WORKER_CRASH` / :data:`TASK_HANG` / :data:`TASK_ERROR`
+    attempts: int  #: faulted dispatches before the supervisor gave up
+    error: str     #: deterministic one-line description of the last fault
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor had to do during one ``run_tasks`` call."""
+
+    pool_rebuilds: int = 0
+    task_retries: int = 0
+    quarantined: List[QuarantinedTask] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no supervision action was needed."""
+        return (self.pool_rebuilds == 0 and self.task_retries == 0
+                and not self.quarantined)
+
+
+def drop_quarantined(results: Sequence[Any]) -> list:
+    """Filter :class:`QuarantinedTask` placeholders out of ``map`` output.
+
+    The studies summarize whatever trials survived (the same graceful
+    degradation ``Summary.failures`` gives sim-level faults), so a
+    quarantined trial shrinks ``n`` instead of crashing the sweep.
+    """
+    return [r for r in results if not isinstance(r, QuarantinedTask)]
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping for one submitted future."""
+
+    index: int
+    deadline: Optional[float]
+
+
+class SupervisedExecutor(Executor):
+    """Fault-tolerant :class:`~repro.parallel.Executor` over worker pools.
+
+    Contract differences from ``MultiprocessExecutor``, all in the
+    direction of never losing the sweep:
+
+    * task exceptions do **not** propagate — a task that keeps raising is
+      quarantined as :data:`TASK_ERROR` after ``max_task_retries``
+      faulted dispatches and yielded as a :class:`QuarantinedTask`;
+    * the pool path is always taken (no serial degradation for one item
+      or one worker), so crash/hang recovery semantics do not silently
+      change with the workload size;
+    * ``run_tasks`` still yields every index exactly once — a quarantined
+      index yields its placeholder.
+
+    The dispatch window is one in-flight task per worker: submitted tasks
+    start (almost) immediately, which keeps the ``task_timeout_s``
+    deadline honest, and bounds the blast radius of a pool break to at
+    most ``max_workers`` re-dispatched tasks.
+
+    ``drain_signals=True`` (the default) registers SIGINT/SIGTERM
+    handlers for the duration of the run: the first signal stops new
+    submissions, drains in-flight results for up to ``drain_grace_s``
+    (so the caller's journal captures them), then raises
+    ``KeyboardInterrupt``; a second signal aborts the drain immediately.
+    Handlers are always restored, and registration is skipped off the
+    main thread.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        task_timeout_s: Optional[float] = None,
+        max_task_retries: int = 3,
+        drain_signals: bool = True,
+        drain_grace_s: Optional[float] = None,
+        poll_interval_s: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task timeout must be positive")
+        if max_task_retries < 0:
+            raise ValueError("max task retries cannot be negative")
+        if poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+        self.jobs = max_workers
+        self.task_timeout_s = task_timeout_s
+        self.max_task_retries = max_task_retries
+        self.drain_signals = drain_signals
+        self.drain_grace_s = (
+            drain_grace_s if drain_grace_s is not None
+            else (task_timeout_s if task_timeout_s is not None else 30.0)
+        )
+        self.poll_interval_s = poll_interval_s
+        self._metrics: Union[MetricsRegistry, NullMetrics] = (
+            metrics if metrics is not None else NULL_METRICS
+        )
+        self._pool_rebuilds = self._metrics.counter("parallel.pool_rebuilds")
+        self._task_retries = self._metrics.counter("parallel.task_retries")
+        self._quarantined = self._metrics.counter("parallel.quarantined")
+        self._live_workers = self._metrics.gauge("parallel.live_workers")
+        #: Supervision stats of the most recent ``run_tasks`` call.
+        self.last_supervision = SupervisionReport()
+        self._signals_seen = 0
+
+    # -- submission hook ---------------------------------------------------
+
+    def _submit(self, pool: ProcessPoolExecutor, fn: Callable[[Any], Any],
+                item: Any, index: int, attempt: int) -> Future:
+        """Submit one task; ``ChaosExecutor`` overrides this to inject
+        planned faults for ``(index, attempt)``."""
+        return pool.submit(fn, item)
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        self._live_workers.set(workers)
+        return pool
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting — hung workers included.
+
+        ``shutdown`` alone never reclaims a worker stuck in a busy loop;
+        terminating the processes first is the only way to cancel a hung
+        task.  ``_processes`` is private API, so failures to reach it
+        degrade to a plain shutdown (the leaked worker dies with the
+        parent).
+        """
+        try:
+            processes = dict(getattr(pool, "_processes", None) or {})
+            for process in processes.values():
+                process.terminate()
+        except Exception:
+            pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._live_workers.set(0)
+
+    def _rebuild_pool(self, workers: int,
+                      report: SupervisionReport) -> ProcessPoolExecutor:
+        report.pool_rebuilds += 1
+        self._pool_rebuilds.inc()
+        return self._new_pool(workers)
+
+    # -- fault accounting --------------------------------------------------
+
+    def _record_fault(self, index: int, attempts: List[int], kind: str,
+                      error: str,
+                      report: SupervisionReport) -> Optional[QuarantinedTask]:
+        """Count one faulted dispatch; quarantine when the budget is spent.
+
+        Returns the :class:`QuarantinedTask` to yield, or ``None`` when
+        the task has retries left (caller re-queues it).
+        """
+        attempts[index] += 1
+        if attempts[index] > self.max_task_retries:
+            quarantined = QuarantinedTask(index=index, kind=kind,
+                                          attempts=attempts[index],
+                                          error=error)
+            report.quarantined.append(quarantined)
+            self._quarantined.inc()
+            return quarantined
+        report.task_retries += 1
+        self._task_retries.inc()
+        return None
+
+    # -- signal plumbing ---------------------------------------------------
+
+    def _install_handlers(self) -> Optional[Dict[int, Any]]:
+        if not self.drain_signals:
+            return None
+        self._signals_seen = 0
+
+        def on_signal(signum: int, frame: Any) -> None:
+            self._signals_seen += 1
+
+        try:
+            return {
+                signum: signal.signal(signum, on_signal)
+                for signum in (signal.SIGINT, signal.SIGTERM)
+            }
+        except ValueError:
+            # signal.signal only works on the main thread; supervision
+            # still runs, just without the drain-on-signal behavior.
+            return None
+
+    @staticmethod
+    def _restore_handlers(previous: Optional[Dict[int, Any]]) -> None:
+        if previous is None:
+            return
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  items: Sequence[Any]) -> Iterator[Tuple[int, Any]]:
+        work = list(items)
+        self.last_supervision = SupervisionReport()
+        if not work:
+            return
+        ensure_picklable(fn)
+        yield from self._supervise(fn, work, self.last_supervision)
+
+    def _supervise(self, fn: Callable[[Any], Any], work: list,
+                   report: SupervisionReport) -> Iterator[Tuple[int, Any]]:
+        workers = min(self.jobs, len(work))
+        queue: Deque[int] = deque(range(len(work)))
+        attempts: List[int] = [0] * len(work)
+        inflight: Dict[Future, _InFlight] = {}
+        previous_handlers = self._install_handlers()
+        pool = self._new_pool(workers)
+        try:
+            while queue or inflight:
+                if self._signals_seen:
+                    yield from self._drain(inflight)
+                    raise KeyboardInterrupt(
+                        "sweep interrupted: in-flight results drained; "
+                        "rerun with --resume to continue"
+                    )
+                broken = False
+                # Fill the dispatch window (one in-flight task per worker).
+                while queue and len(inflight) < workers and not broken:
+                    index = queue.popleft()
+                    try:
+                        future = self._submit(pool, fn, work[index], index,
+                                              attempts[index])
+                    except Exception:
+                        # Submitting on a dead pool (BrokenProcessPool /
+                        # RuntimeError): the item itself never dispatched,
+                        # so it goes back without a fault charge.
+                        queue.appendleft(index)
+                        broken = True
+                        break
+                    deadline = (
+                        None if self.task_timeout_s is None
+                        # Host watchdog, not sim time: the budget guards the
+                        # machine, so it must read a real clock.
+                        else time.monotonic() + self.task_timeout_s  # simlint: disable=DET001 -- host-level watchdog deadline
+                    )
+                    inflight[future] = _InFlight(index=index,
+                                                 deadline=deadline)
+                if not broken and inflight:
+                    done, _ = wait(set(inflight),
+                                   timeout=self.poll_interval_s)
+                    for future in done:
+                        slot = inflight.pop(future)
+                        tag, payload = _settle(future)
+                        if tag == "ok":
+                            yield slot.index, payload
+                        elif tag == "error":
+                            quarantined = self._record_fault(
+                                slot.index, attempts, TASK_ERROR, payload,
+                                report)
+                            if quarantined is not None:
+                                yield slot.index, quarantined
+                            else:
+                                queue.append(slot.index)
+                        else:  # pool failure
+                            broken = True
+                            quarantined = self._record_fault(
+                                slot.index, attempts, WORKER_CRASH, payload,
+                                report)
+                            if quarantined is not None:
+                                yield slot.index, quarantined
+                            else:
+                                queue.append(slot.index)
+                if broken:
+                    # The pool died. Completed cohort members keep their
+                    # results; everything else re-dispatches against a
+                    # fresh pool with one fault charged (the culprit is
+                    # unattributable, so the whole cohort pays — the
+                    # one-per-worker window bounds the collateral).
+                    for future, slot in sorted(inflight.items(),
+                                               key=lambda kv: kv[1].index):
+                        tag, payload = _settle(future)
+                        if tag == "ok":
+                            yield slot.index, payload
+                            continue
+                        kind = TASK_ERROR if tag == "error" else WORKER_CRASH
+                        quarantined = self._record_fault(
+                            slot.index, attempts, kind, payload, report)
+                        if quarantined is not None:
+                            yield slot.index, quarantined
+                        else:
+                            queue.append(slot.index)
+                    inflight.clear()
+                    self._kill_pool(pool)
+                    pool = self._rebuild_pool(workers, report)
+                    continue
+                if self.task_timeout_s is not None and inflight:
+                    now = time.monotonic()  # simlint: disable=DET001 -- host-level watchdog clock
+                    expired = {future for future, slot in inflight.items()
+                               if slot.deadline is not None
+                               and now >= slot.deadline}
+                    if expired:
+                        # A running future cannot be cancelled; killing the
+                        # pool is the only way to reclaim a hung worker.
+                        # Innocent cohort members re-queue without a fault
+                        # charge.
+                        hung = sorted(inflight[f].index for f in expired)
+                        survivors = sorted(slot.index
+                                           for future, slot in inflight.items()
+                                           if future not in expired)
+                        inflight.clear()
+                        self._kill_pool(pool)
+                        pool = self._rebuild_pool(workers, report)
+                        queue.extendleft(reversed(survivors))
+                        for index in hung:
+                            quarantined = self._record_fault(
+                                index, attempts, TASK_HANG,
+                                f"exceeded the {self.task_timeout_s:g}s "
+                                f"task timeout",
+                                report)
+                            if quarantined is not None:
+                                yield index, quarantined
+                            else:
+                                queue.append(index)
+        finally:
+            self._restore_handlers(previous_handlers)
+            self._kill_pool(pool)
+
+    def _drain(self, inflight: Dict[Future, _InFlight],
+               ) -> Iterator[Tuple[int, Any]]:
+        """Collect what the workers already have before shutting down.
+
+        Yields every in-flight result that completes within
+        ``drain_grace_s`` so the consumer can journal it; faults during
+        the drain are simply dropped — the trial reruns on ``--resume``.
+        A second signal aborts the drain immediately.
+        """
+        deadline = time.monotonic() + self.drain_grace_s  # simlint: disable=DET001 -- host-level drain deadline
+        while inflight and self._signals_seen < 2:
+            remaining = deadline - time.monotonic()  # simlint: disable=DET001 -- host-level drain deadline
+            if remaining <= 0:
+                break
+            done, _ = wait(set(inflight),
+                           timeout=min(self.poll_interval_s, remaining))
+            for future in done:
+                slot = inflight.pop(future)
+                tag, payload = _settle(future)
+                if tag == "ok":
+                    yield slot.index, payload
+
+
+def _settle(future: Future) -> Tuple[str, Any]:
+    """Classify a future: ``("ok", result)``, ``("error", msg)``, or
+    ``("pool", msg)`` for infrastructure death (including still-pending
+    futures on a broken pool)."""
+    try:
+        result = future.result(timeout=0)
+    except _POOL_FAILURES:
+        return "pool", "worker process died; process pool broken"
+    except FutureTimeoutError:
+        # Not done: its pool broke under it before it could run.
+        return "pool", "worker process died; process pool broken"
+    except Exception as error:  # noqa: BLE001 - taxonomy boundary
+        return "error", f"{type(error).__name__}: {error}"
+    return "ok", result
+
+
+__all__ = [
+    "QuarantinedTask",
+    "SupervisedExecutor",
+    "SupervisionReport",
+    "TASK_ERROR",
+    "TASK_HANG",
+    "WORKER_CRASH",
+    "drop_quarantined",
+]

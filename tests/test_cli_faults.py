@@ -40,6 +40,24 @@ def test_crash_probability_out_of_range_is_rejected(capsys):
     assert "error:" in capsys.readouterr().err
 
 
+@pytest.mark.parametrize("jobs", ["0", "-1", "-4"])
+def test_nonpositive_jobs_is_rejected_with_one_line_message(capsys, jobs):
+    assert main(["faults", "--jobs", jobs]) == 2
+    err = capsys.readouterr().err
+    assert err.strip().startswith("error: --jobs must be at least 1")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
+
+
+def test_supervision_flags_require_parallel_jobs(capsys):
+    assert main(["faults", "--task-timeout", "30"]) == 2
+    assert "--jobs 2 or more" in capsys.readouterr().err
+    assert main(["faults", "--jobs", "2", "--task-timeout", "0"]) == 2
+    assert "positive" in capsys.readouterr().err
+    assert main(["faults", "--jobs", "2", "--max-task-retries", "-1"]) == 2
+    assert "negative" in capsys.readouterr().err
+
+
 def test_command_exception_prints_one_line_error(capsys, monkeypatch):
     import repro.cli as cli
 

@@ -106,6 +106,12 @@ FLAGGED = {
             with ProcessPoolExecutor(max_workers=4) as pool:
                 return list(pool.map(fn, items))
         """,
+    "PAR602": """
+        import signal
+
+        def install(handler):
+            signal.signal(signal.SIGINT, handler)
+        """,
 }
 
 CLEAN = {
@@ -169,6 +175,12 @@ CLEAN = {
 
         def fan_out(fn, items, jobs):
             return get_executor(jobs).map(fn, items)
+        """,
+    "PAR602": """
+        import signal
+
+        def names():
+            return [signal.SIGINT, signal.SIGTERM]
         """,
 }
 
@@ -284,6 +296,18 @@ def test_par601_flags_os_fork_and_exempts_the_executor_layer(tmp_path):
     exempt = lint_source(tmp_path, FLAGGED["PAR601"], select=["PAR601"],
                          name="repro/parallel/executors.py")
     assert exempt.findings == []
+
+
+def test_par602_exempts_only_the_supervisor_module(tmp_path):
+    # The supervisor is the sanctioned home of signal handling...
+    exempt = lint_source(tmp_path, FLAGGED["PAR602"], select=["PAR602"],
+                         name="repro/parallel/supervisor.py")
+    assert exempt.findings == []
+    # ...but the rest of the parallel package is not exempt (unlike
+    # PAR601, which exempts the whole package).
+    flagged = lint_source(tmp_path, FLAGGED["PAR602"], select=["PAR602"],
+                          name="repro/parallel/executors.py")
+    assert rule_ids(flagged) == ["PAR602"]
 
 
 def test_sim103_exempts_the_kernel_package(tmp_path):

@@ -9,6 +9,7 @@ from repro.parallel import (
     MultiprocessExecutor,
     ParallelExecutionError,
     SerialExecutor,
+    SupervisedExecutor,
     get_executor,
 )
 
@@ -87,12 +88,43 @@ def test_dropped_index_is_detected():
 def test_get_executor_dispatch():
     assert isinstance(get_executor(1), SerialExecutor)
     pooled = get_executor(4)
-    assert isinstance(pooled, MultiprocessExecutor)
+    assert isinstance(pooled, SupervisedExecutor)
     assert pooled.jobs == 4
+    bare = get_executor(4, supervised=False)
+    assert isinstance(bare, MultiprocessExecutor)
+    assert not isinstance(bare, SupervisedExecutor)
+    assert bare.jobs == 4
+
+
+def test_supervisor_knobs_pass_through_get_executor():
+    pooled = get_executor(2, task_timeout_s=30.0, max_task_retries=5)
+    assert isinstance(pooled, SupervisedExecutor)
+    assert pooled.task_timeout_s == 30.0
+    assert pooled.max_task_retries == 5
+
+
+def test_supervisor_knobs_rejected_for_unsupervised_paths():
+    with pytest.raises(ValueError, match="supervised"):
+        get_executor(1, task_timeout_s=30.0)
+    with pytest.raises(ValueError, match="supervised"):
+        get_executor(4, max_task_retries=5, supervised=False)
 
 
 def test_invalid_worker_counts_raise():
-    with pytest.raises(ValueError, match="at least 1"):
-        get_executor(0)
+    for jobs in (0, -1, -7):
+        with pytest.raises(ValueError, match="at least 1"):
+            get_executor(jobs)
     with pytest.raises(ValueError):
         MultiprocessExecutor(max_workers=0)
+
+
+def test_abandoned_run_tasks_shuts_the_pool_down():
+    # Closing the generator mid-iteration (the leak the try/finally in
+    # MultiprocessExecutor.run_tasks fixes) must not leave orphaned
+    # workers grinding through the queue.
+    executor = MultiprocessExecutor(max_workers=2)
+    gen = executor.run_tasks(square, list(range(50)))
+    next(gen)
+    gen.close()  # runs the finally: shutdown(wait=False, cancel_futures=True)
+    # The executor stays usable for a fresh pool afterwards.
+    assert executor.map(square, [1, 2, 3]) == [1, 4, 9]
