@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs.perfstore import PerfStore, default_store_path
+
 
 def emit(title: str, body: str) -> None:
     """Print one reproduced figure with a banner."""
@@ -21,3 +23,19 @@ def emit(title: str, body: str) -> None:
 @pytest.fixture(scope="session")
 def fig_printer():
     return emit
+
+
+@pytest.fixture(scope="session")
+def perf_track():
+    """Append one measurement to the shared perf trajectory.
+
+    Writes go to ``BENCH_obs.json`` in the cwd (or ``REPRO_PERFSTORE``),
+    so each benchmark run extends the performance history that
+    ``python -m repro perf check`` budget-gates in CI.
+    """
+    store = PerfStore(default_store_path())
+
+    def track(name: str, value: float, unit: str = "s", **meta) -> None:
+        store.append(name, value, unit=unit, meta=meta)
+
+    return track

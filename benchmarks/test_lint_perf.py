@@ -22,7 +22,7 @@ TARGETS = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
 WALL_CEILING_S = 60.0
 
 
-def test_project_lint_wall_time(fig_printer):
+def test_project_lint_wall_time(fig_printer, perf_track):
     start = time.perf_counter()  # simlint: disable=DET001
     file_report = run_lint(TARGETS, root=REPO_ROOT)
     file_only_s = time.perf_counter() - start  # simlint: disable=DET001
@@ -33,6 +33,8 @@ def test_project_lint_wall_time(fig_printer):
 
     assert report.files_checked == file_report.files_checked
     assert report.findings == [], [str(f) for f in report.findings]
+    perf_track("lint.project_wall_s", project_s,
+               files=report.files_checked)
 
     rows = [
         f"{'mode':<24}{'files':>8}{'wall s':>10}",

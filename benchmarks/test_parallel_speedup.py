@@ -46,7 +46,7 @@ def run_batch(jobs: int, journal_path) -> float:
     return elapsed
 
 
-def test_parallel_speedup(tmp_path, fig_printer):
+def test_parallel_speedup(tmp_path, fig_printer, perf_track):
     serial_journal = tmp_path / "serial.json"
     pooled_journal = tmp_path / "pooled.json"
     serial_s = run_batch(1, serial_journal)
@@ -54,6 +54,10 @@ def test_parallel_speedup(tmp_path, fig_printer):
     speedup = serial_s / pooled_s
 
     cores = os.cpu_count() or 1
+    perf_track("parallel.speedup.serial_s", serial_s, cores=cores,
+               trials=TRIALS)
+    perf_track("parallel.speedup.pooled_s", pooled_s, cores=cores,
+               trials=TRIALS, jobs=JOBS)
     body = "\n".join([
         f"trials            {TRIALS}",
         f"host cores        {cores}",

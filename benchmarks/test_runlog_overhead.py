@@ -1,0 +1,81 @@
+"""Runlog overhead: an enabled run-level event stream must be ~free.
+
+The runlog is the always-on flight recorder of journaled sweeps, so its
+cost budget is strict: one flushed JSONL line per run-level event (a
+handful per trial) against trials that each burn real event-loop work.
+This benchmark runs the identical seeded batch through a
+``RobustTrialRunner`` with the runlog disabled and enabled, asserts the
+enabled run stays within 5% of the disabled one (with an absolute
+jitter floor), and checks the determinism contract along the way: the
+journal bytes must not change when logging is switched on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.background import make_rng
+from repro.core.experiments import RobustTrialRunner
+from repro.obs.runlog import RunLog, read_runlog
+from repro.parallel import get_executor
+from repro.sim import Environment
+
+TRIALS = 12
+#: Allowed enabled-vs-disabled slowdown.
+MAX_OVERHEAD = 0.05
+#: Absolute jitter floor: differences below this are scheduler noise,
+#: not logging cost.
+JITTER_FLOOR_S = 0.5
+
+
+def kernel_trial(seed: int) -> float:
+    """~0.15s of pure event-loop work — figure-trial shaped."""
+    env = Environment()
+    rng = make_rng(seed)
+
+    def spin():
+        for _ in range(100_000):
+            yield env.timeout(rng.uniform(0.1, 1.0))
+
+    env.run(env.process(spin()))
+    return env.now
+
+
+def run_batch(journal_path, runlog=None) -> float:
+    runner = RobustTrialRunner(trials=TRIALS, experiment="runlog-overhead",
+                               journal_path=journal_path,
+                               executor=get_executor(1), runlog=runlog)
+    start = time.perf_counter()  # simlint: disable=DET001
+    report = runner.run(kernel_trial)
+    elapsed = time.perf_counter() - start  # simlint: disable=DET001
+    assert report.failures == 0
+    return elapsed
+
+
+def test_runlog_overhead(tmp_path, fig_printer, perf_track):
+    # Warm-up batch pays one-time import/alloc costs.
+    run_batch(tmp_path / "warmup.json")
+    off_s = run_batch(tmp_path / "off.json")
+    with RunLog(tmp_path / "run.jsonl") as runlog:
+        on_s = run_batch(tmp_path / "on.json", runlog=runlog)
+
+    overhead = on_s / off_s - 1.0
+    events = read_runlog(tmp_path / "run.jsonl")
+    body = "\n".join([
+        f"trials              {TRIALS}",
+        f"host cores          {os.cpu_count() or 1}",
+        f"runlog disabled     {off_s:8.3f} s",
+        f"runlog enabled      {on_s:8.3f} s  ({len(events)} events)",
+        f"overhead            {overhead:8.1%}  (budget {MAX_OVERHEAD:.0%})",
+    ])
+    fig_printer("Runlog overhead on a serial journaled batch", body)
+    perf_track("obs.runlog.enabled_s", on_s, trials=TRIALS,
+               events=len(events))
+
+    # The stream is complete (run_start + one trial_complete per trial +
+    # run_end) and the journal bytes are oblivious to it.
+    assert len(events) == TRIALS + 2
+    assert (tmp_path / "on.json").read_bytes() == \
+        (tmp_path / "off.json").read_bytes()
+    assert (on_s - off_s) < max(MAX_OVERHEAD * off_s, JITTER_FLOOR_S)

@@ -47,7 +47,7 @@ def run_batch(executor) -> tuple[float, list]:
     return elapsed, results
 
 
-def test_supervisor_overhead(fig_printer):
+def test_supervisor_overhead(fig_printer, perf_track):
     # Bare first, then supervised, after a warm-up batch that pays the
     # one-time interpreter/fork costs for both.
     run_batch(MultiprocessExecutor(JOBS))
@@ -56,6 +56,8 @@ def test_supervisor_overhead(fig_printer):
     supervised_s, supervised_results = run_batch(supervised)
 
     overhead = supervised_s / bare_s - 1.0
+    perf_track("parallel.supervisor.supervised_s", supervised_s,
+               cores=os.cpu_count() or 1, tasks=TASKS, jobs=JOBS)
     body = "\n".join([
         f"tasks               {TASKS}",
         f"host cores          {os.cpu_count() or 1}",

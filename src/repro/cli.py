@@ -13,13 +13,24 @@ Usage::
     python -m repro faults --journal out/j --resume   # continue a run
     python -m repro lint --format json   # simlint static analysis
     python -m repro trace fig2a --out trace.json      # Perfetto trace
+    python -m repro faults --journal out/j --progress # live progress line
+    python -m repro report out/j         # run report from journal+runlog
+    python -m repro perf check BENCH_obs.json         # perf budget check
 
 Every figure command prints the same rows the corresponding benchmark
 asserts on, at a configurable scale.  ``faults`` runs the fault-injection
 robustness study (see :mod:`repro.faults`); ``lint`` runs the
 determinism / sim-invariant static-analysis pass (see :mod:`repro.lint`);
 ``trace`` runs one instrumented scenario and exports a Chrome trace_event
-JSON for Perfetto (see :mod:`repro.core.tracing`).
+JSON for Perfetto (see :mod:`repro.core.tracing`); ``report`` renders a
+self-contained run report (see :mod:`repro.obs.report`); ``perf``
+inspects the perf-trajectory store (see :mod:`repro.obs.perfstore`).
+
+Run-level observability (``docs/observability.md``): ``--runlog PATH``
+streams run events to a JSONL file (auto-enabled as ``run.jsonl`` beside
+``--journal`` for ``faults``), and ``--progress`` renders a live status
+line on stderr.  Both leave journal bytes and stdout untouched, so the
+determinism contract is unaffected.
 
 Error paths exit nonzero with a one-line ``error: ...`` message on
 stderr — no tracebacks.
@@ -49,14 +60,46 @@ def _executor(args):
     For ``--jobs N > 1`` this is a supervised executor (worker-crash
     recovery, hung-task timeout, poison-task quarantine, SIGINT/SIGTERM
     drain); ``--task-timeout`` and ``--max-task-retries`` tune it.
+
+    One instance per invocation (cached on ``args``): the run's
+    :class:`~repro.obs.runlog.RunLog` is attached here, and ``main``
+    reads the accumulated supervision totals back off the same instance
+    for the post-run ``supervision:`` summary.
     """
+    cached = getattr(args, "_executor_instance", None)
+    if cached is not None:
+        return cached
     from repro.parallel import get_executor
 
-    return get_executor(
+    executor = get_executor(
         args.jobs,
         task_timeout_s=args.task_timeout,
         max_task_retries=args.max_task_retries,
     )
+    runlog = getattr(args, "_runlog", None)
+    if runlog is not None:
+        executor.runlog = runlog
+    args._executor_instance = executor
+    return executor
+
+
+def _build_runlog(args):
+    """The run's :class:`~repro.obs.runlog.RunLog`, or ``None`` when off.
+
+    Enabled by ``--runlog PATH``, by ``--progress`` (pathless: events
+    feed the renderer only), or implicitly for journaled ``faults`` runs
+    (``run.jsonl`` beside the journal, the ``report`` command's input).
+    """
+    from repro.obs.progress import ProgressRenderer
+    from repro.obs.runlog import RUNLOG_NAME, RunLog
+
+    path = args.runlog
+    if path is None and args.journal and args.figure == "faults":
+        path = str(Path(args.journal) / RUNLOG_NAME)
+    if path is None and not args.progress:
+        return None
+    listeners = [ProgressRenderer().handle] if args.progress else []
+    return RunLog(path, listeners=listeners)
 
 
 def cmd_table1(args) -> None:
@@ -377,6 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--crash-probability", type=float, default=0.0,
                         help="per-trial injected crash probability "
                              "(faults only)")
+    parser.add_argument("--runlog", metavar="PATH", default=None,
+                        help="append run-level events (trial completions, "
+                             "supervision actions) to PATH as JSONL; "
+                             "defaults to run.jsonl beside --journal for "
+                             "faults")
+    parser.add_argument("--progress", action="store_true",
+                        help="render a live progress line on stderr "
+                             "(done/total, retries, quarantines, ETA)")
     return parser
 
 
@@ -393,9 +444,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.core.tracing import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "report":
+        # And the report subcommand (--format/--out/--top).
+        from repro.obs.report import main as report_main
+
+        return report_main(argv[1:])
+    if argv and argv[0] == "perf":
+        # And the perf-trajectory subcommand (show/check).
+        from repro.obs.perfstore import main as perf_main
+
+        return perf_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
-        for name in sorted([*_COMMANDS, "lint", "trace"]):
+        for name in sorted([*_COMMANDS, "lint", "trace", "report", "perf"]):
             print(name)
         return 0
     if args.trials < 1:
@@ -426,6 +487,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("error: --crash-probability must lie in [0, 1] "
               f"(got {args.crash_probability})", file=sys.stderr)
         return 2
+    runlog = _build_runlog(args)
+    if runlog is not None:
+        args._runlog = runlog
     try:
         _COMMANDS[args.figure](args)
     except KeyboardInterrupt:
@@ -438,6 +502,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     except Exception as error:  # noqa: BLE001 - one-line message, no traceback
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if runlog is not None:
+            runlog.close()
+        # Surface what the supervisor had to do.  stderr, not stdout:
+        # stdout stays byte-identical across --jobs values (CI cmp's it).
+        executor = getattr(args, "_executor_instance", None)
+        totals = getattr(executor, "supervision_totals", None)
+        if totals is not None and args.jobs >= 2:
+            print(f"supervision: {totals.pool_rebuilds} rebuilds, "
+                  f"{totals.task_retries} retries, "
+                  f"{len(totals.quarantined)} quarantined", file=sys.stderr)
     return 0
 
 

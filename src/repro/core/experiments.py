@@ -48,10 +48,17 @@ import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.stats import Summary, summarize
 from repro.obs import MetricsRegistry, merge_snapshots
+from repro.obs.runlog import (
+    AnyRunLog,
+    NULL_RUNLOG,
+    RUNLOG_VERSION,
+    RunLog,
+    snapshot_digest,
+)
 from repro.parallel import (
     Executor,
     QuarantinedTask,
@@ -109,22 +116,60 @@ class TrialRunner:
     """
 
     def __init__(self, trials: int = 5, experiment: str = "exp",
-                 executor: Optional[Executor] = None):
+                 executor: Optional[Executor] = None,
+                 runlog: Optional[RunLog] = None):
         if trials < 1:
             raise ValueError("need at least one trial")
         self.trials = trials
         self.experiment = experiment
         self.executor = executor or SerialExecutor()
+        self.runlog = runlog
 
     def run(self, trial_fn: Callable[[int], T]) -> list[T]:
         """Execute all trials; returns their results in trial order."""
         seeds = [derive_seed(self.experiment, index)
                  for index in range(self.trials)]
-        return self.executor.map(trial_fn, seeds)
+        runlog = _resolve_runlog(self)
+        if not runlog.enabled:
+            return self.executor.map(trial_fn, seeds)
+        # Same merge as Executor.map, with one runlog line per finished
+        # trial so `--progress` has a live done/total signal.
+        runlog.emit("run_start", experiment=self.experiment,
+                    trials=self.trials, pending=self.trials, resumed=0,
+                    runlog_version=RUNLOG_VERSION,
+                    config={"jobs": getattr(self.executor, "jobs", 1)})
+        results: list = [None] * len(seeds)
+        seen = [False] * len(seeds)
+        for index, result in self.executor.run_tasks(trial_fn, seeds):
+            results[index] = result
+            seen[index] = True
+            runlog.emit("trial_complete", trial=index, status=TRIAL_OK)
+        if not all(seen):
+            missing = [i for i, ok in enumerate(seen) if not ok]
+            raise TrialError(self.experiment, missing[0],
+                             seeds[missing[0]],
+                             f"executor dropped trial indices {missing}")
+        runlog.emit("run_end", completed=self.trials, failures=0,
+                    quarantined=0)
+        return results
 
     def summary(self, trial_fn: Callable[[int], float]) -> Summary:
         """Run trials returning scalars and summarize them."""
         return summarize(self.run(trial_fn))
+
+
+def _resolve_runlog(runner: Any) -> AnyRunLog:
+    """The runner's runlog, else one attached to its executor, else null.
+
+    The CLI attaches a :class:`~repro.obs.runlog.RunLog` to the executor
+    (one shared stream for a whole multi-sweep command), so every study
+    gets run-level logging without threading a parameter through each
+    study config.
+    """
+    if runner.runlog is not None:
+        return runner.runlog
+    attached = getattr(runner.executor, "runlog", None)
+    return NULL_RUNLOG if attached is None else attached
 
 
 # -- robust execution ---------------------------------------------------------
@@ -282,6 +327,7 @@ class RobustTrialRunner:
         wall_budget_s: Optional[float] = None,
         journal_path: Optional[Union[str, Path]] = None,
         executor: Optional[Executor] = None,
+        runlog: Optional[RunLog] = None,
     ):
         if trials < 1:
             raise ValueError("need at least one trial")
@@ -298,6 +344,7 @@ class RobustTrialRunner:
         self.wall_budget_s = wall_budget_s
         self.journal_path = Path(journal_path) if journal_path else None
         self.executor = executor or SerialExecutor()
+        self.runlog = runlog
 
     # -- journal ----------------------------------------------------------
 
@@ -403,6 +450,18 @@ class RobustTrialRunner:
         pass_metrics = self._wants_metrics(trial_fn)
         pending = [trial for trial in range(self.trials)
                    if trial not in records]
+        runlog = _resolve_runlog(self)
+        runlog.emit(
+            "run_start", experiment=self.experiment, trials=self.trials,
+            pending=len(pending), resumed=report.resumed,
+            runlog_version=RUNLOG_VERSION,
+            config={
+                "jobs": getattr(self.executor, "jobs", 1),
+                "max_attempts": self.max_attempts,
+                "step_budget": self.step_budget,
+                "wall_budget_s": self.wall_budget_s,
+            },
+        )
         task = _TrialTask(runner=self, trial_fn=trial_fn,
                           pass_budget=pass_budget, pass_metrics=pass_metrics)
         # Workers hand records back; only this (parent) process merges them
@@ -422,12 +481,24 @@ class RobustTrialRunner:
                 record = result
             records[record.trial] = record
             self._write_journal(records)
+            # Everything but the wall timing is seed-determined, so the
+            # runlog's deterministic view replays byte-identically; the
+            # host timing rides along under the `host` key.
+            runlog.emit(
+                "trial_complete", trial=record.trial, status=record.status,
+                attempts=record.attempts, value=record.value,
+                steps=record.steps, error=record.error[:200],
+                metrics_digest=snapshot_digest(record.metrics),
+                host={"wall_s": round(record.duration_wall_s, 6)},
+            )
         report.supervision = getattr(self.executor, "last_supervision", None)
         if not pending:
             # Every trial was satisfied from the journal: rewrite it anyway
             # so the header (version, trials) never goes stale.
             self._write_journal(records)
         report.records = [records[k] for k in sorted(records)]
+        runlog.emit("run_end", completed=report.completed,
+                    failures=report.failures, quarantined=report.quarantined)
         return report
 
     def _quarantined_record(self, trial: int,

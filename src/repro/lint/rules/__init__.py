@@ -135,7 +135,10 @@ from repro.lint.rules.determinism import (  # noqa: E402
     WallClockRule,
 )
 from repro.lint.rules.faults import SeededFaultInjectionRule  # noqa: E402
-from repro.lint.rules.obs import RawSpanPairRule  # noqa: E402
+from repro.lint.rules.obs import (  # noqa: E402
+    RawSpanPairRule,
+    RunlogDirectWriteRule,
+)
 from repro.lint.rules.parallel import (  # noqa: E402
     RawProcessFanoutRule,
     RawSignalHandlerRule,
@@ -161,6 +164,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CatalogSchemaRule(),
     SeededFaultInjectionRule(),
     RawSpanPairRule(),
+    RunlogDirectWriteRule(),
     RawProcessFanoutRule(),
     RawSignalHandlerRule(),
 )

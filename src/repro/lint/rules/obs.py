@@ -6,6 +6,12 @@ either vanishes from the export or reports a bogus duration.  The
 context-manager API (``with tracer.span(...)``) closes the span on every
 exit path and annotates it with the exception type, so raw pairs are
 flagged everywhere outside the tracer's own implementation.
+
+The run-level event log has the same single-writer discipline: the
+``run.jsonl`` schema (versioning, canonical serialization, the
+host-field determinism contract) lives in :mod:`repro.obs.runlog`, and a
+hand-rolled write would bypass all of it.  OBS502 flags write-shaped
+calls targeting a ``run.jsonl`` path anywhere outside that module.
 """
 
 from __future__ import annotations
@@ -54,4 +60,86 @@ class RawSpanPairRule(Rule):
             )
 
 
-__all__ = ["RawSpanPairRule"]
+_RUNLOG_NAME = "run.jsonl"
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+_MODE_CHARS = frozenset("rwaxbt+U")
+_WRITING_MODE_CHARS = frozenset("wax+")
+
+
+def _mentions_runlog(node: ast.Call) -> bool:
+    return any(
+        isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+        and _RUNLOG_NAME in sub.value
+        for sub in ast.walk(node)
+    )
+
+
+def _is_writing_mode(value: object) -> bool:
+    return (isinstance(value, str) and value != ""
+            and set(value) <= _MODE_CHARS
+            and bool(set(value) & _WRITING_MODE_CHARS))
+
+
+def _opens_for_write(node: ast.Call) -> bool:
+    """Does this ``open``/``Path.open`` call use a writing mode?
+
+    The mode is the string literal among the direct arguments that looks
+    like a mode spec (``"a"``, ``"wb"``, ``"r+"``, ...); with no mode
+    argument the default ``"r"`` applies and the call only reads.
+    """
+    candidates = list(node.args) + [
+        kw.value for kw in node.keywords if kw.arg == "mode"
+    ]
+    return any(
+        isinstance(arg, ast.Constant) and _is_writing_mode(arg.value)
+        for arg in candidates
+    )
+
+
+class RunlogDirectWriteRule(Rule):
+    """OBS502: direct run.jsonl write outside repro.obs.runlog."""
+
+    id = "OBS502"
+    severity = Severity.WARNING
+    title = "direct run.jsonl write bypassing repro.obs.runlog"
+    rationale = (
+        "repro.obs.runlog.RunLog is the only sanctioned writer of "
+        "run.jsonl: it owns the schema version, the canonical sorted-key "
+        "serialization, and the host-field determinism contract. A direct "
+        "write_text/write_bytes/open(..., 'w'/'a') against a run.jsonl "
+        "path produces lines the report and progress consumers cannot "
+        "trust. Emit through a RunLog instead."
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        # The runlog module implements the format; everyone else emits.
+        return "/obs/runlog" not in context.norm_path
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # call_name() gives up on computed receivers like
+            # ``(out / "run.jsonl").write_text`` — take the attribute
+            # name straight off the func node instead.
+            if isinstance(node.func, ast.Attribute):
+                tail = node.func.attr
+            else:
+                name = call_name(node)
+                if name is None:
+                    continue
+                tail = name.rsplit(".", 1)[-1]
+            is_write = tail in _WRITE_METHODS or (
+                tail == "open" and _opens_for_write(node)
+            )
+            if not is_write or not _mentions_runlog(node):
+                continue
+            yield self.finding(
+                context, node,
+                f"direct {tail}() on a {_RUNLOG_NAME} path; emit through "
+                f"repro.obs.runlog.RunLog so the schema and determinism "
+                f"contract hold",
+            )
+
+
+__all__ = ["RawSpanPairRule", "RunlogDirectWriteRule"]

@@ -30,6 +30,8 @@ from typing import Any, Tuple, Union
 from repro.obs.export import (
     chrome_trace_events,
     chrome_trace_json,
+    format_histogram,
+    histogram_quantile,
     metrics_json,
     text_summary,
     write_chrome_trace,
@@ -43,6 +45,21 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetrics,
     merge_snapshots,
+)
+from repro.obs.perfstore import BudgetCheck, PerfEntry, PerfStore
+from repro.obs.progress import ProgressRenderer
+from repro.obs.runlog import (
+    HOST_EVENTS,
+    NULL_RUNLOG,
+    NullRunLog,
+    RUNLOG_NAME,
+    RUNLOG_VERSION,
+    RunLog,
+    deterministic_bytes,
+    deterministic_events,
+    read_runlog,
+    runlog_of,
+    snapshot_digest,
 )
 from repro.obs.tracer import (
     Instant,
@@ -90,24 +107,41 @@ def metrics_of(env: Any) -> AnyMetrics:
 __all__ = [
     "AnyMetrics",
     "AnyTracer",
+    "BudgetCheck",
     "Counter",
     "DEFAULT_MS_BUCKETS",
     "Gauge",
+    "HOST_EVENTS",
     "Histogram",
     "Instant",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_RUNLOG",
     "NULL_TRACER",
     "NullMetrics",
+    "NullRunLog",
     "NullTracer",
+    "PerfEntry",
+    "PerfStore",
+    "ProgressRenderer",
+    "RUNLOG_NAME",
+    "RUNLOG_VERSION",
+    "RunLog",
     "Span",
     "SpanHandle",
     "Tracer",
     "chrome_trace_events",
     "chrome_trace_json",
+    "deterministic_bytes",
+    "deterministic_events",
+    "format_histogram",
+    "histogram_quantile",
     "install",
     "merge_snapshots",
     "metrics_json",
+    "read_runlog",
+    "runlog_of",
+    "snapshot_digest",
     "text_summary",
     "write_chrome_trace",
 ]

@@ -97,6 +97,49 @@ def metrics_json(metrics: MetricsRegistry) -> str:
                       separators=(",", ":"))
 
 
+def histogram_quantile(hist: dict, q: float) -> float:
+    """Bucket-derived upper bound of quantile ``q`` of a histogram dict.
+
+    Takes the ``{"count", "sum", "buckets"}`` shape of
+    :meth:`~repro.obs.metrics.Histogram.as_dict` (labels are stringified
+    upper bounds plus ``"+Inf"``) and returns the smallest bucket bound
+    whose cumulative count reaches ``q * count`` — the standard ``le``
+    bucket estimate, exact to bucket resolution and fully deterministic.
+    Observations beyond the last finite bound yield ``inf``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must lie in [0, 1] (got {q})")
+    count = hist.get("count", 0)
+    if count <= 0:
+        return 0.0
+    target = q * count
+    finite = sorted(
+        (float(label), n)
+        for label, n in hist.get("buckets", {}).items() if label != "+Inf"
+    )
+    cumulative = 0
+    for bound, n in finite:
+        cumulative += n
+        if cumulative >= target:
+            return bound
+    return float("inf")
+
+
+def format_histogram(name: str, hist: dict) -> str:
+    """One deterministic line describing a histogram snapshot value."""
+    count = hist.get("count", 0)
+    total = hist.get("sum", 0.0)
+    mean = total / count if count else 0.0
+    p50 = histogram_quantile(hist, 0.50)
+    p95 = histogram_quantile(hist, 0.95)
+
+    def bound(value: float) -> str:
+        return "+Inf" if value == float("inf") else f"{value:g}"
+
+    return (f"{name}: n={count} sum={total:.3f} mean={mean:.3f} "
+            f"p50<={bound(p50)} p95<={bound(p95)}")
+
+
 def text_summary(tracer: Tracer, metrics: MetricsRegistry) -> str:
     """Human-readable one-screen digest of a traced trial."""
     lines = ["trace summary:"]
@@ -111,9 +154,7 @@ def text_summary(tracer: Tracer, metrics: MetricsRegistry) -> str:
         lines.append(f"  metrics: {len(snapshot)}")
         for name, value in snapshot.items():
             if isinstance(value, dict):
-                mean = value["sum"] / value["count"] if value["count"] else 0.0
-                lines.append(f"    {name}: n={value['count']} "
-                             f"mean={mean:.3f}")
+                lines.append(f"    {format_histogram(name, value)}")
             else:
                 lines.append(f"    {name}: {value:g}")
     return "\n".join(lines)
@@ -123,6 +164,8 @@ __all__ = [
     "TRACE_PID",
     "chrome_trace_events",
     "chrome_trace_json",
+    "format_histogram",
+    "histogram_quantile",
     "metrics_json",
     "text_summary",
     "write_chrome_trace",

@@ -1,0 +1,153 @@
+"""Live sweep progress rendered from the runlog event stream.
+
+The renderer is a :class:`~repro.obs.runlog.RunLog` listener: the runner
+and supervisor emit events, the runlog fans them out, and the renderer
+folds them into one status line —
+
+    faults:web:ge:0.2  3/5 trials · 1 failed · 2 retries · 1 quarantined
+    · 2 workers · eta 12s
+
+On a TTY the line is rewritten in place (carriage return, padded to the
+previous width); on a plain stream (CI logs, pipes) a full line is
+printed at most once per ``interval_s`` so logs stay readable.  Output
+goes to *stderr* by default: stdout carries figure tables whose bytes
+are compared across worker counts, and progress is a host-side
+diagnostic, not a result.
+
+The ETA divides the remaining trial count by the observed completion
+rate of this run (resumed trials are excluded from the rate).  It is a
+host-side estimate and never feeds back into any result.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, TextIO
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+class ProgressRenderer:
+    """Folds runlog events into a single live status line.
+
+    ``clock`` is injectable for tests; the default reads the host's
+    monotonic clock — progress is a host-side display, so this is one of
+    the few sanctioned wall-clock reads outside the runner's watchdogs.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 interval_s: float = 1.0,
+                 clock: Optional[Callable[[], float]] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_width = 0
+        self._last_render = float("-inf")
+        self._reset("", 0)
+
+    def _reset(self, experiment: str, total: int) -> None:
+        self.experiment = experiment
+        self.total = total
+        self.done = 0
+        self.failed = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.rebuilds = 0
+        self.workers = 1
+        self._fresh_done = 0  #: completions observed live (ETA basis)
+        self._started = self._clock()
+
+    # -- event folding -----------------------------------------------------
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        """RunLog listener entry point: fold one event, maybe render."""
+        kind = event.get("event")
+        if kind == "run_start":
+            self._reset(str(event.get("experiment", "")),
+                        int(event.get("trials", 0)))
+            self.done = int(event.get("resumed", 0))
+            config = event.get("config") or {}
+            self.workers = int(config.get("jobs", 1) or 1)
+            self._render(force=not self._isatty)
+        elif kind == "trial_complete":
+            self.done += 1
+            self._fresh_done += 1
+            if event.get("status") != "ok":
+                self.failed += 1
+            self._render()
+        elif kind == "task_retry":
+            self.retries += 1
+            self._render()
+        elif kind == "quarantine":
+            self.quarantined += 1
+            self._render()
+        elif kind == "pool_rebuild":
+            self.rebuilds += 1
+            self._render()
+        elif kind == "run_end":
+            self._render(force=True)
+            self.finish()
+
+    # -- rendering ---------------------------------------------------------
+
+    def _eta_s(self) -> Optional[float]:
+        if self._fresh_done <= 0 or self.total <= 0:
+            return None
+        elapsed = self._clock() - self._started
+        if elapsed <= 0:
+            return None
+        rate = self._fresh_done / elapsed
+        return max(self.total - self.done, 0) / rate if rate > 0 else None
+
+    def status_line(self) -> str:
+        parts = [f"{self.experiment}  {self.done}/{self.total} trials"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.rebuilds:
+            parts.append(f"{self.rebuilds} pool rebuilds")
+        if self.workers > 1:
+            parts.append(f"{self.workers} workers")
+        eta = self._eta_s()
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {_fmt_eta(eta)}")
+        return " · ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and not self._isatty:
+            if now - self._last_render < self.interval_s:
+                return
+        self._last_render = now
+        line = self.status_line()
+        if self._isatty:
+            padded = line.ljust(self._last_width)
+            self._last_width = len(line)
+            self.stream.write("\r" + padded)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Terminate the rewritten line so later output starts clean."""
+        if self._isatty and self._last_width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._last_width = 0
+
+
+__all__ = ["ProgressRenderer"]

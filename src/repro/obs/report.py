@@ -1,0 +1,448 @@
+"""Unified run reports: journal + metrics + runlog in one document.
+
+``python -m repro report <path>`` takes a trial journal, a runlog, or a
+journal *directory* (the ``--journal DIR`` layout: one ``<experiment>.json``
+per sweep point plus ``run.jsonl``) and renders everything known about
+the run as one self-contained text or HTML document:
+
+* per-trial tables (status, attempts, value, steps, error) per journal;
+* a failure-taxonomy breakdown (crash / timeout / deadlock / error);
+* top-k slowest trials — by host wall time when a runlog is present,
+  by kernel step count otherwise;
+* the cross-trial merged metric snapshot
+  (:func:`repro.obs.merge_snapshots` semantics, histograms rendered with
+  bucket-derived p50/p95);
+* the supervision timeline recovered from the runlog's host events
+  (retries, pool rebuilds, hang reclamations, quarantines, drains).
+
+Version tolerance: journals of every ``JOURNAL_VERSION`` (1–3) load —
+missing fields default, and a file without a ``version`` key is treated
+as v1.  Rows are handled as plain dicts on purpose: the report must be
+able to read journals written by *older* code than itself, so it depends
+on the file schema, not on :class:`repro.core.experiments.TrialRecord`.
+
+The HTML renderer emits a single file with inline CSS and no external
+references, so a CI artifact opens anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html as html_escape
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.export import format_histogram
+from repro.obs.metrics import merge_snapshots
+from repro.obs.runlog import RUNLOG_NAME, Event, read_runlog
+
+#: Host events worth a timeline row (dispatch/complete are summarized).
+_TIMELINE_EVENTS = ("task_retry", "pool_rebuild", "hang_reclaim",
+                    "quarantine", "signal_drain")
+
+
+@dataclass
+class JournalView:
+    """One journal file, normalized across schema versions."""
+
+    path: Path
+    version: int
+    experiment: str
+    trials: int
+    records: List[Dict[str, Any]]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.get("status") == "ok")
+
+    @property
+    def failures(self) -> int:
+        return len(self.records) - self.completed
+
+    def taxonomy(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            status = str(record.get("status", "?"))
+            if status != "ok":
+                counts[status] = counts.get(status, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        snapshots = [r["metrics"] for r in self.records if r.get("metrics")]
+        return merge_snapshots(snapshots)
+
+
+@dataclass
+class ReportData:
+    """Everything the renderers need about one run."""
+
+    journals: List[JournalView] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    runlog_path: Optional[Path] = None
+
+    def taxonomy(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for journal in self.journals:
+            for status, n in journal.taxonomy().items():
+                counts[status] = counts.get(status, 0) + n
+        return {k: counts[k] for k in sorted(counts)}
+
+
+def _normalize_journal(path: Path, raw: Dict[str, Any]) -> JournalView:
+    records = [dict(r) for r in raw.get("records", [])]
+    records.sort(key=lambda r: int(r.get("trial", 0)))
+    trials = raw.get("trials")
+    return JournalView(
+        path=path,
+        version=int(raw.get("version", 1)),
+        experiment=str(raw.get("experiment", path.stem)),
+        trials=int(trials) if trials is not None else len(records),
+        records=records,
+    )
+
+
+def _load_journal(path: Path, strict: bool) -> Optional[JournalView]:
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        if strict:
+            raise ValueError(f"unreadable journal {path}: {error}")
+        return None
+    if not isinstance(raw, dict) or "records" not in raw:
+        if strict:
+            raise ValueError(
+                f"{path} is not a trial journal (no 'records' array)"
+            )
+        return None
+    return _normalize_journal(path, raw)
+
+
+def load_report_data(path: Union[str, Path]) -> ReportData:
+    """Resolve a journal / runlog / directory path into report inputs."""
+    target = Path(path)
+    if not target.exists():
+        raise FileNotFoundError(f"no such journal or runlog: {target}")
+    data = ReportData()
+    if target.is_dir():
+        directory = target
+        journal_paths = sorted(p for p in directory.glob("*.json"))
+        strict = False
+    elif target.suffix == ".jsonl":
+        directory = target.parent
+        journal_paths = sorted(p for p in directory.glob("*.json"))
+        strict = False
+        data.runlog_path = target
+    else:
+        directory = target.parent
+        journal_paths = [target]
+        strict = True
+    for journal_path in journal_paths:
+        journal = _load_journal(journal_path, strict=strict)
+        if journal is not None:
+            data.journals.append(journal)
+    if data.runlog_path is None:
+        candidate = directory / RUNLOG_NAME
+        if candidate.exists():
+            data.runlog_path = candidate
+    if data.runlog_path is not None:
+        data.events = read_runlog(data.runlog_path)
+    if not data.journals and not data.events:
+        raise ValueError(f"{target} contains no journals and no runlog")
+    return data
+
+
+# -- runlog digestion --------------------------------------------------------
+
+def host_wall_by_trial(events: Sequence[Event]) -> Dict[str, Dict[int, float]]:
+    """``{experiment: {trial: wall_s}}`` from ``trial_complete`` events."""
+    walls: Dict[str, Dict[int, float]] = {}
+    experiment = ""
+    for event in events:
+        kind = event.get("event")
+        if kind == "run_start":
+            experiment = str(event.get("experiment", ""))
+        elif kind == "trial_complete":
+            wall = (event.get("host") or {}).get("wall_s")
+            if wall is not None:
+                walls.setdefault(experiment, {})[
+                    int(event.get("trial", -1))] = float(wall)
+    return walls
+
+
+def supervision_timeline(events: Sequence[Event]) -> List[Tuple[str, str]]:
+    """``(experiment, description)`` rows for the host events that matter."""
+    timeline: List[Tuple[str, str]] = []
+    experiment = ""
+    for event in events:
+        kind = event.get("event")
+        if kind == "run_start":
+            experiment = str(event.get("experiment", ""))
+        elif kind in _TIMELINE_EVENTS:
+            detail = ", ".join(
+                f"{k}={event[k]}" for k in sorted(event)
+                if k not in ("event", "host")
+            )
+            timeline.append((experiment, f"{kind}({detail})" if detail
+                             else f"{kind}"))
+    return timeline
+
+
+def dispatch_counts(events: Sequence[Event]) -> Dict[str, int]:
+    counts = {"task_dispatch": 0, "task_complete": 0}
+    for event in events:
+        kind = event.get("event")
+        if kind in counts:
+            counts[kind] += 1
+    return counts
+
+
+def _slowest(journal: JournalView,
+             walls: Dict[str, Dict[int, float]],
+             top_k: int) -> Tuple[str, List[Tuple[int, float]]]:
+    """Top-k slowest trials: (unit, [(trial, value)]) — wall or steps."""
+    by_trial = walls.get(journal.experiment, {})
+    if by_trial:
+        ranked = sorted(by_trial.items(), key=lambda kv: (-kv[1], kv[0]))
+        return "wall_s", ranked[:top_k]
+    stepped = [(int(r["trial"]), float(r["steps"])) for r in journal.records
+               if r.get("steps") is not None]
+    stepped.sort(key=lambda kv: (-kv[1], kv[0]))
+    return "steps", stepped[:top_k]
+
+
+# -- text renderer -----------------------------------------------------------
+
+def _trial_rows(journal: JournalView) -> List[List[str]]:
+    rows = []
+    for record in journal.records:
+        value = record.get("value")
+        rows.append([
+            str(record.get("trial", "?")),
+            str(record.get("seed", "?")),
+            str(record.get("status", "?")),
+            str(record.get("attempts", 1)),
+            "-" if value is None else f"{float(value):.4f}",
+            "-" if record.get("steps") is None else str(record["steps"]),
+            str(record.get("error", ""))[:60],
+        ])
+    return rows
+
+
+_TRIAL_HEADERS = ["trial", "seed", "status", "attempts", "value", "steps",
+                  "error"]
+
+
+def render_text(data: ReportData, top_k: int = 3) -> str:
+    walls = host_wall_by_trial(data.events)
+    lines: List[str] = ["run report", "=========="]
+    runlog = str(data.runlog_path) if data.runlog_path else "(none)"
+    lines.append(f"sources: {len(data.journals)} journal(s), "
+                 f"runlog: {runlog}")
+    for journal in data.journals:
+        lines.append("")
+        lines.append(f"experiment {journal.experiment} "
+                     f"(journal v{journal.version}, "
+                     f"{journal.trials} trials)")
+        taxonomy = journal.taxonomy()
+        breakdown = (" (" + ", ".join(f"{k}={v}" for k, v in taxonomy.items())
+                     + ")") if taxonomy else ""
+        lines.append(f"  outcomes: {journal.completed} ok, "
+                     f"{journal.failures} failed{breakdown}")
+        widths = [max(len(h), *(len(r[i]) for r in _trial_rows(journal)))
+                  if journal.records else len(h)
+                  for i, h in enumerate(_TRIAL_HEADERS)]
+        lines.append("  " + "  ".join(
+            h.ljust(w) for h, w in zip(_TRIAL_HEADERS, widths)))
+        for row in _trial_rows(journal):
+            lines.append("  " + "  ".join(
+                cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        unit, slowest = _slowest(journal, walls, top_k)
+        if slowest:
+            rendered = ", ".join(
+                f"trial {trial} ({value:.3f} {unit})" if unit == "wall_s"
+                else f"trial {trial} ({int(value)} {unit})"
+                for trial, value in slowest)
+            lines.append(f"  slowest: {rendered}")
+        merged = journal.merged_metrics()
+        if merged:
+            lines.append("  merged metrics:")
+            for name in sorted(merged):
+                value = merged[name]
+                if isinstance(value, dict):
+                    lines.append(f"    {format_histogram(name, value)}")
+                else:
+                    lines.append(f"    {name}: {value:g}")
+    taxonomy = data.taxonomy()
+    lines.append("")
+    if taxonomy:
+        lines.append("failure taxonomy: " + ", ".join(
+            f"{k}={v}" for k, v in taxonomy.items()))
+    else:
+        lines.append("failure taxonomy: clean (no failed trials)")
+    timeline = supervision_timeline(data.events)
+    counts = dispatch_counts(data.events)
+    if data.events:
+        lines.append(f"supervision: {counts['task_dispatch']} dispatches, "
+                     f"{counts['task_complete']} completions, "
+                     f"{len(timeline)} notable events")
+        for experiment, description in timeline:
+            prefix = f"  [{experiment}] " if experiment else "  "
+            lines.append(prefix + description)
+    else:
+        lines.append("supervision: no runlog found "
+                     "(run with --journal to record one)")
+    return "\n".join(lines) + "\n"
+
+
+# -- HTML renderer -----------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 64rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: .5rem 0; width: 100%; }
+th, td { border: 1px solid #d0d0d0; padding: .25rem .5rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f2f2f2; }
+.ok { color: #166534; } .bad { color: #991b1b; font-weight: 600; }
+.meta { color: #666; font-size: .85rem; }
+code { background: #f5f5f5; padding: 0 .2rem; }
+""".strip()
+
+
+def _esc(value: Any) -> str:
+    return html_escape.escape(str(value))
+
+
+def render_html(data: ReportData, top_k: int = 3) -> str:
+    walls = host_wall_by_trial(data.events)
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
+        "<title>repro run report</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>repro run report</h1>",
+        f"<p class=\"meta\">sources: {len(data.journals)} journal(s), "
+        f"runlog: {_esc(data.runlog_path) if data.runlog_path else '(none)'}"
+        f"</p>",
+    ]
+    for journal in data.journals:
+        parts.append(f"<h2>{_esc(journal.experiment)} "
+                     f"<span class=\"meta\">(journal v{journal.version}, "
+                     f"{journal.trials} trials)</span></h2>")
+        taxonomy = journal.taxonomy()
+        breakdown = (" — " + ", ".join(f"{_esc(k)}={v}"
+                                       for k, v in taxonomy.items())
+                     ) if taxonomy else ""
+        parts.append(f"<p><span class=\"ok\">{journal.completed} ok</span>, "
+                     f"<span class=\"{'bad' if journal.failures else 'ok'}\">"
+                     f"{journal.failures} failed</span>{breakdown}</p>")
+        parts.append("<table><tr>" + "".join(
+            f"<th>{h}</th>" for h in _TRIAL_HEADERS) + "</tr>")
+        for row in _trial_rows(journal):
+            status_class = "ok" if row[2] == "ok" else "bad"
+            cells = "".join(
+                f"<td class=\"{status_class}\">{_esc(cell)}</td>"
+                if i == 2 else f"<td>{_esc(cell)}</td>"
+                for i, cell in enumerate(row))
+            parts.append(f"<tr>{cells}</tr>")
+        parts.append("</table>")
+        unit, slowest = _slowest(journal, walls, top_k)
+        if slowest:
+            rendered = ", ".join(
+                f"trial {trial} ({value:.3f} {unit})" if unit == "wall_s"
+                else f"trial {trial} ({int(value)} {unit})"
+                for trial, value in slowest)
+            parts.append(f"<p class=\"meta\">slowest: {_esc(rendered)}</p>")
+        merged = journal.merged_metrics()
+        if merged:
+            parts.append("<table><tr><th>metric</th><th>value</th></tr>")
+            for name in sorted(merged):
+                value = merged[name]
+                shown = (format_histogram(name, value).split(": ", 1)[1]
+                         if isinstance(value, dict) else f"{value:g}")
+                parts.append(f"<tr><td><code>{_esc(name)}</code></td>"
+                             f"<td>{_esc(shown)}</td></tr>")
+            parts.append("</table>")
+    taxonomy = data.taxonomy()
+    parts.append("<h2>failure taxonomy</h2>")
+    if taxonomy:
+        parts.append("<p>" + ", ".join(
+            f"<code>{_esc(k)}</code>={v}" for k, v in taxonomy.items())
+            + "</p>")
+    else:
+        parts.append("<p class=\"ok\">clean — no failed trials</p>")
+    parts.append("<h2>supervision timeline</h2>")
+    timeline = supervision_timeline(data.events)
+    if data.events:
+        counts = dispatch_counts(data.events)
+        parts.append(f"<p class=\"meta\">{counts['task_dispatch']} "
+                     f"dispatches, {counts['task_complete']} completions, "
+                     f"{len(timeline)} notable events</p>")
+        if timeline:
+            parts.append("<table><tr><th>experiment</th><th>event</th></tr>")
+            for experiment, description in timeline:
+                parts.append(f"<tr><td>{_esc(experiment)}</td>"
+                             f"<td><code>{_esc(description)}</code></td></tr>")
+            parts.append("</table>")
+    else:
+        parts.append("<p class=\"meta\">no runlog found — run with "
+                     "<code>--journal</code> to record one</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# -- CLI (python -m repro report) --------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``python -m repro report``."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a unified run report from a trial journal, a "
+                    "runlog (run.jsonl), or a --journal directory.",
+    )
+    parser.add_argument("path", help="journal file, runlog file, or "
+                                     "journal directory")
+    parser.add_argument("--format", choices=["text", "html"], default="text",
+                        help="output format (default text)")
+    parser.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--top", type=int, default=3, metavar="K",
+                        help="slowest-trial count per experiment (default 3)")
+    options = parser.parse_args(argv)
+    if options.top < 0:
+        print(f"error: --top cannot be negative (got {options.top})",
+              file=sys.stderr)
+        return 2
+    try:
+        data = load_report_data(options.path)
+        renderer = render_html if options.format == "html" else render_text
+        document = renderer(data, top_k=options.top)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if options.out:
+        target = Path(options.out)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(document, encoding="utf-8")
+        print(f"[wrote {target}]")
+    else:
+        print(document, end="")
+    return 0
+
+
+__all__ = [
+    "JournalView",
+    "ReportData",
+    "dispatch_counts",
+    "host_wall_by_trial",
+    "load_report_data",
+    "main",
+    "render_html",
+    "render_text",
+    "supervision_timeline",
+]

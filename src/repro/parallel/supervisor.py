@@ -33,7 +33,11 @@ policy that keeps ``duration_wall_s`` out of the v3 journal schema.
 They are observable through the ``parallel.*`` metrics namespace
 (``parallel.pool_rebuilds``, ``parallel.task_retries``,
 ``parallel.quarantined`` counters and the ``parallel.live_workers``
-gauge) and through :attr:`SupervisedExecutor.last_supervision`.
+gauge), through :attr:`SupervisedExecutor.last_supervision` /
+:attr:`SupervisedExecutor.supervision_totals`, and — when a
+:class:`repro.obs.runlog.RunLog` is attached — as host-keyed events
+(``task_dispatch``, ``task_retry``, ``pool_rebuild``, ``hang_reclaim``,
+``quarantine``, ``signal_drain``) in the run-level ``run.jsonl`` stream.
 
 This module is the only place in the codebase allowed to register
 signal handlers — simlint rule PAR602 enforces that, the way PAR601
@@ -63,6 +67,7 @@ from typing import (
 )
 
 from repro.obs.metrics import MetricsRegistry, NullMetrics, NULL_METRICS
+from repro.obs.runlog import AnyRunLog, NULL_RUNLOG
 from repro.parallel.executors import Executor, ensure_picklable
 
 #: Quarantine taxonomy: why the supervisor gave up on a task.
@@ -163,6 +168,7 @@ class SupervisedExecutor(Executor):
         drain_grace_s: Optional[float] = None,
         poll_interval_s: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
+        runlog: Optional[AnyRunLog] = None,
     ):
         if max_workers < 1:
             raise ValueError("need at least one worker")
@@ -188,8 +194,15 @@ class SupervisedExecutor(Executor):
         self._task_retries = self._metrics.counter("parallel.task_retries")
         self._quarantined = self._metrics.counter("parallel.quarantined")
         self._live_workers = self._metrics.gauge("parallel.live_workers")
+        #: Run-level event stream for supervision events (host facts).
+        #: The CLI attaches one after construction; default is the no-op.
+        self.runlog: AnyRunLog = runlog if runlog is not None else NULL_RUNLOG
         #: Supervision stats of the most recent ``run_tasks`` call.
         self.last_supervision = SupervisionReport()
+        #: Supervision stats accumulated over every ``run_tasks`` call of
+        #: this executor's lifetime — what the CLI's one-line
+        #: ``supervision:`` summary prints after a multi-sweep command.
+        self.supervision_totals = SupervisionReport()
         self._signals_seen = 0
 
     # -- submission hook ---------------------------------------------------
@@ -231,7 +244,9 @@ class SupervisedExecutor(Executor):
     def _rebuild_pool(self, workers: int,
                       report: SupervisionReport) -> ProcessPoolExecutor:
         report.pool_rebuilds += 1
+        self.supervision_totals.pool_rebuilds += 1
         self._pool_rebuilds.inc()
+        self.runlog.emit("pool_rebuild", workers=workers)
         return self._new_pool(workers)
 
     # -- fault accounting --------------------------------------------------
@@ -250,10 +265,15 @@ class SupervisedExecutor(Executor):
                                           attempts=attempts[index],
                                           error=error)
             report.quarantined.append(quarantined)
+            self.supervision_totals.quarantined.append(quarantined)
             self._quarantined.inc()
+            self.runlog.emit("quarantine", index=index, kind=kind,
+                             attempts=attempts[index], error=error)
             return quarantined
         report.task_retries += 1
+        self.supervision_totals.task_retries += 1
         self._task_retries.inc()
+        self.runlog.emit("task_retry", index=index, kind=kind, error=error)
         return None
 
     # -- signal plumbing ---------------------------------------------------
@@ -332,6 +352,8 @@ class SupervisedExecutor(Executor):
                     )
                     inflight[future] = _InFlight(index=index,
                                                  deadline=deadline)
+                    self.runlog.emit("task_dispatch", index=index,
+                                     attempt=attempts[index])
                 if not broken and inflight:
                     done, _ = wait(set(inflight),
                                    timeout=self.poll_interval_s)
@@ -339,6 +361,8 @@ class SupervisedExecutor(Executor):
                         slot = inflight.pop(future)
                         tag, payload = _settle(future)
                         if tag == "ok":
+                            self.runlog.emit("task_complete",
+                                             index=slot.index)
                             yield slot.index, payload
                         elif tag == "error":
                             quarantined = self._record_fault(
@@ -367,6 +391,8 @@ class SupervisedExecutor(Executor):
                                                key=lambda kv: kv[1].index):
                         tag, payload = _settle(future)
                         if tag == "ok":
+                            self.runlog.emit("task_complete",
+                                             index=slot.index)
                             yield slot.index, payload
                             continue
                         kind = TASK_ERROR if tag == "error" else WORKER_CRASH
@@ -394,6 +420,8 @@ class SupervisedExecutor(Executor):
                         survivors = sorted(slot.index
                                            for future, slot in inflight.items()
                                            if future not in expired)
+                        self.runlog.emit("hang_reclaim", hung=hung,
+                                         survivors=survivors)
                         inflight.clear()
                         self._kill_pool(pool)
                         pool = self._rebuild_pool(workers, report)
@@ -421,6 +449,7 @@ class SupervisedExecutor(Executor):
         the drain are simply dropped — the trial reruns on ``--resume``.
         A second signal aborts the drain immediately.
         """
+        self.runlog.emit("signal_drain", inflight=len(inflight))
         deadline = time.monotonic() + self.drain_grace_s  # simlint: disable=DET001 -- host-level drain deadline
         while inflight and self._signals_seen < 2:
             remaining = deadline - time.monotonic()  # simlint: disable=DET001 -- host-level drain deadline

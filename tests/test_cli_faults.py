@@ -76,6 +76,66 @@ def test_list_includes_faults(capsys):
     names = capsys.readouterr().out.split()
     assert "faults" in names
     assert "lint" in names
+    assert "report" in names
+    assert "perf" in names
+
+
+# -- run-level observability through the CLI --------------------------------
+
+FAST_FAULTS = ["faults", "--trials", "1", "--pages", "4", "--media-s", "15"]
+
+
+def test_parallel_run_prints_supervision_summary_on_stderr(capsys):
+    assert main(FAST_FAULTS + ["--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "supervision: 0 rebuilds, 0 retries, 0 quarantined" in captured.err
+    assert "supervision" not in captured.out
+
+
+def test_serial_run_prints_no_supervision_summary(capsys):
+    assert main(FAST_FAULTS) == 0
+    assert "supervision" not in capsys.readouterr().err
+
+
+def test_journaled_run_writes_runlog_and_progress_to_stderr(tmp_path,
+                                                            capsys):
+    from repro.obs.runlog import read_runlog
+
+    assert main(FAST_FAULTS + ["--journal", str(tmp_path), "--progress"]) == 0
+    captured = capsys.readouterr()
+    # --journal on a faults run implies a sibling runlog.
+    events = read_runlog(tmp_path / "run.jsonl")
+    assert events[0]["event"] == "run_start"
+    assert events[-1]["event"] == "run_end"
+    assert any(e["event"] == "trial_complete" for e in events)
+    # Progress rendering never contaminates stdout.
+    assert "trials" in captured.err
+    assert "trials" not in captured.out
+
+
+def test_explicit_runlog_flag_controls_the_path(tmp_path):
+    from repro.obs.runlog import read_runlog
+
+    path = tmp_path / "nested" / "events.jsonl"
+    path.parent.mkdir()
+    assert main(FAST_FAULTS + ["--runlog", str(path)]) == 0
+    events = read_runlog(path)
+    assert {e["event"] for e in events} >= {"run_start", "run_end"}
+
+
+def test_report_and_perf_dispatch_through_the_cli(tmp_path, capsys):
+    assert main(FAST_FAULTS + ["--journal", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(tmp_path)]) == 0
+    assert capsys.readouterr().out.startswith("run report")
+
+    from repro.obs.perfstore import PerfStore
+
+    store = PerfStore(tmp_path / "BENCH_obs.json")
+    store.append("bench.wall_s", 1.0)
+    store.append("bench.wall_s", 1.1)
+    assert main(["perf", "check", str(store.path)]) == 0
+    assert "within the" in capsys.readouterr().out
 
 
 # -- journal/resume round trip through the study ----------------------------

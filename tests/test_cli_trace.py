@@ -47,6 +47,16 @@ def test_trace_metrics_out_writes_snapshot(tmp_path, capsys):
     assert snapshot["net.link.tx_bytes"] > 0
 
 
+def test_trace_metrics_out_is_byte_identical_for_same_seed(tmp_path):
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        assert main(["trace", "fig2a", "--out", str(tmp_path / "t.json"),
+                     "--metrics-out", str(path), "--seed", "11"]) == 0
+    first, second = (p.read_bytes() for p in paths)
+    assert first == second
+    assert list(json.loads(first)) == sorted(json.loads(first))
+
+
 def test_trace_rejects_unknown_trial(tmp_path, capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["trace", "nope", "--out", str(tmp_path / "t.json")])

@@ -99,6 +99,10 @@ FLAGGED = {
             tracer.end_span(handle)
             return body
         """,
+    "OBS502": """
+        def log_event(out_dir, line):
+            (out_dir / "run.jsonl").write_text(line)
+        """,
     "PAR601": """
         from concurrent.futures import ProcessPoolExecutor
 
@@ -170,6 +174,14 @@ CLEAN = {
             with tracer.span("net.fetch", "net"):
                 return fetch()
         """,
+    "OBS502": """
+        from repro.obs.runlog import RunLog, read_runlog
+
+        def log_event(out_dir, event):
+            with RunLog(out_dir / "run.jsonl") as runlog:
+                runlog.emit("run_start", **event)
+            return read_runlog(out_dir / "run.jsonl")
+        """,
     "PAR601": """
         from repro.parallel import get_executor
 
@@ -220,6 +232,49 @@ def test_obs501_exempts_the_obs_package(tmp_path):
     report = lint_source(tmp_path, source, select=["OBS501"],
                          name="repro/obs/tracer.py")
     assert report.findings == []
+
+
+def test_obs502_exempts_the_runlog_module(tmp_path):
+    report = lint_source(tmp_path, FLAGGED["OBS502"], select=["OBS502"],
+                         name="repro/obs/runlog.py")
+    assert report.findings == []
+
+
+def test_obs502_ignores_reads_and_flags_write_modes(tmp_path):
+    reads = """
+        def load(out_dir):
+            with open(out_dir / "run.jsonl") as fh:
+                return fh.read()
+        """
+    assert lint_source(tmp_path, reads, select=["OBS502"]).findings == []
+    explicit_read = """
+        def load(out_dir):
+            return open(out_dir / "run.jsonl", "r").read()
+        """
+    assert lint_source(tmp_path, explicit_read,
+                       select=["OBS502"]).findings == []
+    appended = """
+        def append(path, line):
+            with open(path / "run.jsonl", mode="a") as fh:
+                fh.write(line)
+        """
+    assert rule_ids(lint_source(tmp_path, appended,
+                                select=["OBS502"])) == ["OBS502"]
+    path_open = """
+        def append(path, line):
+            with (path / "run.jsonl").open("w") as fh:
+                fh.write(line)
+        """
+    assert rule_ids(lint_source(tmp_path, path_open,
+                                select=["OBS502"])) == ["OBS502"]
+
+
+def test_obs502_ignores_other_jsonl_files(tmp_path):
+    source = """
+        def append(path, line):
+            (path / "events.jsonl").write_text(line)
+        """
+    assert lint_source(tmp_path, source, select=["OBS502"]).findings == []
 
 
 def test_flt401_flags_injector_without_rng_in_faults_package(tmp_path):

@@ -4,11 +4,16 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.core.tracing import TRACEABLE, run_traced_trial
 from repro.obs import (
+    MetricsRegistry,
     Tracer,
     chrome_trace_events,
     chrome_trace_json,
+    format_histogram,
+    histogram_quantile,
     install,
     metrics_json,
     text_summary,
@@ -65,6 +70,47 @@ def test_text_summary_lists_categories_and_metrics():
     assert summary.startswith("trace summary:")
     assert "events:" in summary and "metrics:" in summary
     assert "sim.steps" in summary and "web.fetch_ms" in summary
+
+
+# -- histogram rendering ----------------------------------------------------
+
+def test_histogram_quantile_uses_le_bucket_bounds():
+    hist = {"count": 10, "sum": 30.0,
+            "buckets": {"1": 2, "5": 6, "10": 1, "+Inf": 1}}
+    assert histogram_quantile(hist, 0.0) == 1.0  # smallest bucket bound
+    assert histogram_quantile(hist, 0.2) == 1.0
+    assert histogram_quantile(hist, 0.5) == 5.0
+    assert histogram_quantile(hist, 0.9) == 10.0
+    assert histogram_quantile(hist, 1.0) == float("inf")
+
+
+def test_histogram_quantile_edge_cases():
+    assert histogram_quantile({"count": 0, "buckets": {}}, 0.5) == 0.0
+    with pytest.raises(ValueError, match="quantile must lie"):
+        histogram_quantile({"count": 1, "buckets": {"+Inf": 1}}, 1.5)
+    # All mass beyond the last finite bound estimates to inf.
+    overflow = {"count": 3, "sum": 90.0, "buckets": {"1": 0, "+Inf": 3}}
+    assert histogram_quantile(overflow, 0.5) == float("inf")
+
+
+def test_format_histogram_line_is_deterministic():
+    hist = {"count": 4, "sum": 10.0, "buckets": {"1": 1, "5": 2, "+Inf": 1}}
+    line = format_histogram("plt.ms", hist)
+    assert line == "plt.ms: n=4 sum=10.000 mean=2.500 p50<=5 p95<=+Inf"
+    empty = format_histogram("plt.ms", {"count": 0, "sum": 0.0,
+                                        "buckets": {}})
+    assert empty == "plt.ms: n=0 sum=0.000 mean=0.000 p50<=0 p95<=0"
+
+
+def test_text_summary_renders_histograms_via_format_histogram():
+    registry = MetricsRegistry()
+    hist = registry.histogram("plt.ms", buckets=(1.0, 5.0))
+    for value in (0.5, 2.0, 3.0, 7.0):
+        hist.observe(value)
+    registry.counter("net.tx").inc(3.0)
+    summary = text_summary(Tracer(Environment()), registry)
+    assert format_histogram("plt.ms", hist.as_dict()) in summary
+    assert "net.tx: 3" in summary
 
 
 # -- determinism across same-seed runs -------------------------------------

@@ -1,0 +1,125 @@
+"""Progress renderer: event folding, TTY vs plain rendering, ETA."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import ProgressRenderer, _fmt_eta
+from repro.obs.runlog import RunLog
+
+
+class FakeClock:
+    def __init__(self):
+        self.wall = 100.0
+
+    def __call__(self) -> float:
+        return self.wall
+
+
+class TtyStream(io.StringIO):
+    def isatty(self) -> bool:
+        return True
+
+
+def make_renderer(tty: bool = False):
+    clock = FakeClock()
+    stream = TtyStream() if tty else io.StringIO()
+    renderer = ProgressRenderer(stream=stream, interval_s=1.0, clock=clock)
+    return renderer, stream, clock
+
+
+def start(renderer, trials=4, jobs=2, resumed=0, experiment="exp"):
+    renderer.handle({"event": "run_start", "experiment": experiment,
+                     "trials": trials, "resumed": resumed,
+                     "config": {"jobs": jobs}})
+
+
+def test_status_line_folds_the_event_stream():
+    renderer, _, clock = make_renderer()
+    start(renderer, trials=5, jobs=2)
+    renderer.handle({"event": "trial_complete", "trial": 0, "status": "ok"})
+    renderer.handle({"event": "trial_complete", "trial": 1,
+                     "status": "crash"})
+    renderer.handle({"event": "task_retry", "index": 2,
+                     "kind": "worker_crash"})
+    renderer.handle({"event": "pool_rebuild", "workers": 2})
+    renderer.handle({"event": "quarantine", "index": 2,
+                     "kind": "worker_crash"})
+    clock.wall += 10.0
+    line = renderer.status_line()
+    assert line.startswith("exp  2/5 trials")
+    for fragment in ("1 failed", "1 retries", "1 quarantined",
+                     "1 pool rebuilds", "2 workers", "eta"):
+        assert fragment in line
+
+
+def test_clean_serial_line_omits_empty_sections():
+    renderer, _, _ = make_renderer()
+    start(renderer, trials=3, jobs=1)
+    assert renderer.status_line() == "exp  0/3 trials"
+
+
+def test_run_start_resets_counts_and_seeds_done_with_resumed():
+    renderer, _, _ = make_renderer()
+    start(renderer, trials=4)
+    renderer.handle({"event": "trial_complete", "trial": 0, "status": "ok"})
+    renderer.handle({"event": "task_retry", "index": 1, "kind": "x"})
+    start(renderer, trials=10, resumed=7, experiment="next")
+    assert (renderer.done, renderer.retries, renderer.total) == (7, 0, 10)
+    assert renderer.status_line().startswith("next  7/10 trials")
+
+
+def test_eta_uses_live_completions_not_resumed_ones():
+    renderer, _, clock = make_renderer()
+    start(renderer, trials=10, resumed=4)
+    assert renderer._eta_s() is None  # nothing observed live yet
+    clock.wall += 2.0
+    renderer.handle({"event": "trial_complete", "trial": 4, "status": "ok"})
+    # 1 live completion in 2s -> 0.5/s; 5 remaining -> 10s.
+    assert renderer._eta_s() == 10.0
+
+
+def test_plain_stream_rate_limits_and_appends_lines():
+    renderer, stream, clock = make_renderer(tty=False)
+    # run_start forces a line on plain streams.
+    start(renderer, trials=4, jobs=1)
+    renderer.handle({"event": "trial_complete", "trial": 0, "status": "ok"})
+    clock.wall += 2.0  # past interval_s
+    renderer.handle({"event": "trial_complete", "trial": 1, "status": "ok"})
+    lines = stream.getvalue().splitlines()
+    assert lines[0] == "exp  0/4 trials"
+    assert lines[1].startswith("exp  2/4 trials")  # 1/4 was rate-limited
+    assert "\r" not in stream.getvalue()
+
+
+def test_tty_stream_rewrites_in_place_and_finishes_with_newline():
+    renderer, stream, _ = make_renderer(tty=True)
+    start(renderer, trials=2)
+    renderer.handle({"event": "trial_complete", "trial": 0, "status": "ok"})
+    renderer.handle({"event": "trial_complete", "trial": 1, "status": "ok"})
+    renderer.handle({"event": "run_end", "completed": 2})
+    output = stream.getvalue()
+    assert output.count("\r") >= 2
+    assert output.endswith("\n")
+    # Shorter lines are padded to cover the previous render.
+    renderer.finish()  # idempotent once finished
+    assert stream.getvalue() == output
+
+
+def test_renderer_works_as_a_runlog_listener(tmp_path):
+    renderer, stream, _ = make_renderer()
+    with RunLog(tmp_path / "run.jsonl", listeners=[renderer.handle]) as log:
+        log.emit("run_start", experiment="wired", trials=1, resumed=0,
+                 config={"jobs": 1})
+        log.emit("trial_complete", trial=0, status="ok",
+                 host={"wall_s": 0.1})
+        log.emit("run_end", completed=1)
+    assert "wired  1/1 trials" in stream.getvalue()
+
+
+def test_fmt_eta_ranges():
+    assert _fmt_eta(12.4) == "12s"
+    assert _fmt_eta(75) == "1m15s"
+    assert _fmt_eta(3 * 3600 + 125) == "3h02m"
+    assert _fmt_eta(-1) == "?"
+    assert _fmt_eta(float("nan")) == "?"

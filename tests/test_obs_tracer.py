@@ -198,6 +198,46 @@ def test_merge_snapshots_is_order_robust_for_totals():
     assert merge_snapshots([]) == {}
 
 
+def test_merge_snapshots_unions_disjoint_instrument_sets():
+    a = {"net.tx": 2.0}
+    b = {"plt.ms": {"count": 1, "sum": 3.0, "buckets": {"+Inf": 1}}}
+    c = {"cpu.busy": 0.5}
+    merged = merge_snapshots([a, b, c])
+    assert list(merged) == ["cpu.busy", "net.tx", "plt.ms"]
+    assert merged["net.tx"] == 2.0 and merged["cpu.busy"] == 0.5
+    assert merged["plt.ms"]["count"] == 1
+
+
+def test_merge_snapshots_unions_histogram_bucket_labels():
+    a = {"plt.ms": {"count": 2, "sum": 3.0, "buckets": {"1": 1, "+Inf": 1}}}
+    b = {"plt.ms": {"count": 1, "sum": 9.0, "buckets": {"10": 1}}}
+    merged = merge_snapshots([a, b])
+    assert merged["plt.ms"] == {
+        "count": 3,
+        "sum": 12.0,
+        "buckets": {"1": 1, "+Inf": 1, "10": 1},
+    }
+
+
+def test_merge_snapshots_totals_survive_shuffled_completion_order():
+    import random
+
+    registries = []
+    for seed in range(6):
+        registry = MetricsRegistry()
+        registry.counter("net.tx").inc(float(seed))
+        # Binary-exact values keep the float sum order-independent, so
+        # the merged dicts can be compared exactly.
+        registry.histogram("plt.ms", buckets=(1.0, 10.0)).observe(seed * 0.5)
+        registries.append(registry)
+    snapshots = [r.snapshot() for r in registries]
+    baseline = merge_snapshots(snapshots)
+    for seed in range(4):
+        shuffled = list(snapshots)
+        random.Random(seed).shuffle(shuffled)
+        assert merge_snapshots(shuffled) == baseline
+
+
 def test_merge_snapshots_rejects_scalar_histogram_mix():
     scalar = {"m": 1.0}
     hist = {"m": {"count": 1, "sum": 1.0, "buckets": {"+Inf": 1}}}
