@@ -1,0 +1,108 @@
+"""``python -m repro cache`` — inspect and maintain a trial cache.
+
+Actions::
+
+    python -m repro cache stats [DIR]                 # entries, bytes, breakdown
+    python -m repro cache gc [DIR] --max-age-days 30  # drop stale entries
+    python -m repro cache gc [DIR] --max-bytes 10000000
+    python -m repro cache clear [DIR]                 # drop everything
+
+``DIR`` defaults to the ``REPRO_CACHE`` environment variable.  Error
+paths exit 2 with a one-line ``error: ...`` message, matching the main
+CLI's contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+from repro.cache.store import CACHE_MARKER, TrialCache
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect and maintain a content-addressed trial "
+                    "cache (see docs/caching.md).",
+    )
+    parser.add_argument("action", choices=["stats", "gc", "clear"],
+                        help="what to do with the store")
+    parser.add_argument("dir", nargs="?", default=None,
+                        help="cache directory (default: $REPRO_CACHE)")
+    parser.add_argument("--max-age-days", type=float, default=None,
+                        metavar="DAYS",
+                        help="gc: drop entries older than DAYS")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="gc: drop oldest entries until the store "
+                             "fits in N bytes")
+    return parser
+
+
+def _stats(cache: TrialCache) -> int:
+    experiments: Dict[str, int] = {}
+    fingerprints = set()
+    count = 0
+    total = 0
+    for path in cache.iter_entries():
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        count += 1
+        total += path.stat().st_size
+        name = str(entry.get("experiment", "?"))
+        experiments[name] = experiments.get(name, 0) + 1
+        fingerprints.add(entry.get("fingerprint"))
+    print(f"cache {cache.root}: {count} entries, {total} bytes, "
+          f"{len(fingerprints)} code fingerprints")
+    for name in sorted(experiments):
+        print(f"  {name}: {experiments[name]}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    root = args.dir or os.environ.get("REPRO_CACHE")
+    if not root:
+        print("error: no cache directory (pass DIR or set REPRO_CACHE)",
+              file=sys.stderr)
+        return 2
+    if args.max_age_days is not None and args.max_age_days < 0:
+        print(f"error: --max-age-days cannot be negative "
+              f"(got {args.max_age_days})", file=sys.stderr)
+        return 2
+    if args.max_bytes is not None and args.max_bytes < 0:
+        print(f"error: --max-bytes cannot be negative "
+              f"(got {args.max_bytes})", file=sys.stderr)
+        return 2
+    cache = TrialCache(root)
+    if args.action == "stats":
+        if not (cache.root / CACHE_MARKER).exists():
+            print(f"cache {cache.root}: empty (no {CACHE_MARKER} marker)")
+            return 0
+        return _stats(cache)
+    if args.action == "gc" and args.max_age_days is None \
+            and args.max_bytes is None:
+        print("error: gc needs --max-age-days and/or --max-bytes",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.action == "gc":
+            removed = cache.gc(max_age_days=args.max_age_days,
+                               max_bytes=args.max_bytes)
+        else:
+            removed = cache.clear()
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"removed {removed} entries ({cache.entry_count()} remain)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

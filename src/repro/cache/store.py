@@ -1,0 +1,397 @@
+"""Content-addressed trial-result store with incremental invalidation.
+
+Layout under the cache root (``--cache DIR`` / ``REPRO_CACHE``)::
+
+    <root>/repro-cache.json                     store marker + version
+    <root>/objects/<aa>/<digest>.cache.json     one entry per trial
+
+Each entry is keyed by :func:`~repro.cache.keys.trial_key` — a digest of
+``(experiment, trial index, derived seed, canonical params, code
+fingerprint)`` — so a hit means "this exact code would recompute this
+exact trial."  Two payload kinds cover the two execution layers:
+
+* ``"record"`` — a journal row (:class:`~repro.core.experiments.
+  TrialRecord` minus host timing); replaying it reproduces journal bytes
+  exactly, which is what keeps cold and warm runs byte-identical.
+* ``"pickle"`` — a base64-pickled study result (page loads, streaming
+  sessions) for the plain ``Executor.map`` sweeps.
+
+Single-writer discipline mirrors the journal and the runlog: only the
+parent process consults or writes the cache (workers return results;
+executors carry a :class:`TrialCache` reference that is never called
+from a worker), and every write is an atomic tmp-then-replace so a
+killed run never leaves a torn entry.  simlint rule CSH801 flags
+``*.cache.json`` writes outside this package.
+
+:func:`cached_map` is the drop-in for ``executor.map`` used by the sweep
+loops: consult the cache per item, dispatch only the misses, store what
+came back, and report ``cache_hit``/``cache_miss``/``cache_store`` host
+events through the runlog.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.cache.fingerprint import code_fingerprint
+from repro.cache.keys import Uncacheable, canonicalize, trial_key
+from repro.obs.runlog import AnyRunLog, NULL_RUNLOG, runlog_of
+from repro.parallel import Executor, ParallelExecutionError, QuarantinedTask
+
+#: Entry schema version; a mismatch reads as a miss, never an error.
+CACHE_VERSION = 1
+
+#: Store marker written once at the root (identifies a directory as a
+#: repro cache so ``gc``/``clear`` refuse to run elsewhere).
+CACHE_MARKER = "repro-cache.json"
+
+#: Suffix of every entry file.
+ENTRY_SUFFIX = ".cache.json"
+
+KIND_RECORD = "record"
+KIND_PICKLE = "pickle"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one run (parent process only)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Trials whose key could not be derived (lambda tasks, exotic
+    #: params); they execute normally and never touch the store.
+    uncacheable: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> Optional[float]:
+        """Hits over lookups, or ``None`` when nothing was looked up."""
+        if not self.lookups:
+            return None
+        return self.hits / self.lookups
+
+    def line(self) -> str:
+        """One-line summary for the post-run stderr report."""
+        text = (f"cache: {self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stores")
+        ratio = self.hit_ratio
+        if ratio is not None:
+            text += f" ({ratio:.0%} hit ratio)"
+        return text
+
+
+class TrialCache:
+    """Sharded on-disk store of content-addressed trial results."""
+
+    #: Recognized by :mod:`repro.cache.keys` so a cache attached to an
+    #: executor or config is omitted from keys like other infrastructure.
+    cache_infrastructure = True
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # -- addressing -------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}{ENTRY_SUFFIX}"
+
+    def _ensure_marker(self) -> None:
+        marker = self.root / CACHE_MARKER
+        if not marker.exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            marker.write_text(json.dumps(
+                {"version": CACHE_VERSION,
+                 "layout": f"objects/<2-hex>/<digest>{ENTRY_SUFFIX}"},
+                sort_keys=True) + "\n", encoding="utf-8")
+
+    # -- lookup / store ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The entry stored under ``key``, or ``None`` (counted a miss).
+
+        Any unreadable, torn, or version-mismatched entry is a miss: the
+        cache may only ever *skip* recomputation it can vouch for.
+        """
+        path = self._entry_path(key)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return raw
+
+    def put(self, key: str, *, experiment: str, trial: int, kind: str,
+            payload: Any, fingerprint: str) -> None:
+        """Atomically write one entry (parent process only)."""
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "experiment": experiment,
+            "trial": trial,
+            "kind": kind,
+            "payload": payload,
+            "fingerprint": fingerprint,
+        }
+        self._ensure_marker()
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    # -- maintenance ------------------------------------------------------
+
+    def iter_entries(self) -> Iterator[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        yield from sorted(objects.glob(f"*/*{ENTRY_SUFFIX}"))
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+    def total_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.iter_entries())
+
+    def _checked_root(self) -> None:
+        if not (self.root / CACHE_MARKER).exists():
+            raise ValueError(
+                f"{self.root} has no {CACHE_MARKER} marker; refusing to "
+                f"treat it as a repro cache")
+
+    def gc(self, max_age_days: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> int:
+        """Delete stale entries; returns how many were removed.
+
+        ``max_age_days`` drops entries older than the cutoff;
+        ``max_bytes`` then drops oldest-first until the store fits.
+        Age comes from the entry file's mtime — a host-side maintenance
+        concern, not part of any result.
+        """
+        self._checked_root()
+        now = time.time()  # simlint: disable=DET001 - host-side gc policy
+        entries = [(path.stat().st_mtime, path)
+                   for path in self.iter_entries()]
+        removed = 0
+        kept: List[Tuple[float, Path]] = []
+        for mtime, path in entries:
+            if (max_age_days is not None
+                    and now - mtime > max_age_days * 86400.0):
+                path.unlink(missing_ok=True)
+                removed += 1
+            else:
+                kept.append((mtime, path))
+        if max_bytes is not None:
+            kept.sort()  # oldest first
+            total = sum(path.stat().st_size for _, path in kept)
+            while kept and total > max_bytes:
+                _, path = kept.pop(0)
+                total -= path.stat().st_size
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        self._checked_root()
+        removed = 0
+        for path in self.iter_entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def encode_result(value: Any) -> str:
+    """Base64-pickled payload for arbitrary study results."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_result(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+@dataclass
+class TrialKeyer:
+    """Per-sweep binding of (cache, experiment, canonical params, code).
+
+    Canonicalizing the task and fingerprinting its code once per sweep —
+    not once per trial — keeps the per-trial cost to one SHA-256 over a
+    small document.
+    """
+
+    cache: TrialCache
+    experiment: str
+    params: Any
+    fingerprint: str
+
+    @classmethod
+    def create(cls, cache: Optional[TrialCache], task: Any, *,
+               experiment: str, extra: Any = None,
+               code_extra: Tuple[Any, ...] = ()) -> Optional["TrialKeyer"]:
+        """A keyer for this sweep, or ``None`` when caching cannot apply.
+
+        ``extra`` carries sweep-level parameters that live outside the
+        task object (a robust runner's retry/budget policy);
+        ``code_extra`` names additional objects (e.g. the runner class)
+        whose modules join the fingerprint without entering the key.
+        Any :class:`Uncacheable` piece disables caching for the whole
+        sweep — counted, never raised.
+        """
+        if cache is None:
+            return None
+        try:
+            fingerprint = code_fingerprint((task, *code_extra)
+                                           if code_extra else task)
+            params = {"task": canonicalize(task),
+                      "extra": canonicalize(extra)}
+        except Uncacheable:
+            cache.stats.uncacheable += 1
+            return None
+        return cls(cache=cache, experiment=experiment, params=params,
+                   fingerprint=fingerprint)
+
+    def key(self, trial: int, item: Any) -> Optional[str]:
+        try:
+            return trial_key(self.experiment, trial, item, self.params,
+                             self.fingerprint)
+        except Uncacheable:
+            self.cache.stats.uncacheable += 1
+            return None
+
+
+def resolve_cache(*candidates: Any) -> Optional[TrialCache]:
+    """First cache among explicit values and executor attachments.
+
+    Mirrors how runlogs travel: the CLI attaches one
+    :class:`TrialCache` to the executor (``executor.cache``), and every
+    sweep that dispatches through that executor picks it up without a
+    parameter threading through each study config.
+    """
+    for candidate in candidates:
+        if candidate is None:
+            continue
+        if isinstance(candidate, TrialCache):
+            return candidate
+        attached = getattr(candidate, "cache", None)
+        if isinstance(attached, TrialCache):
+            return attached
+    return None
+
+
+def cached_map(
+    executor: Executor,
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    experiment: str,
+    cache: Optional[TrialCache] = None,
+    runlog: Optional[AnyRunLog] = None,
+    on_result: Optional[Callable[[int, Any, bool], None]] = None,
+) -> list:
+    """``executor.map`` with content-addressed short-circuiting.
+
+    Results come back in item order whatever the completion order, same
+    as ``map``.  With no cache resolvable this *is* ``map`` (plus the
+    optional ``on_result`` callback, called as ``(index, result,
+    was_cached)`` in completion order).  Quarantined placeholders are
+    returned but never stored — a host fault says nothing about the
+    trial's true result.
+    """
+    work = list(items)
+    cache = resolve_cache(cache, executor)
+    if runlog is None:
+        runlog = runlog_of(executor)
+    keyer = TrialKeyer.create(cache, task, experiment=experiment)
+    results: list = [None] * len(work)
+    seen = [False] * len(work)
+    pending: List[Tuple[int, Any, Optional[str]]] = []
+    for index, item in enumerate(work):
+        entry = None
+        key = keyer.key(index, item) if keyer is not None else None
+        if key is not None:
+            entry = cache.get(key)  # type: ignore[union-attr]
+        if entry is not None and entry.get("kind") == KIND_PICKLE:
+            try:
+                value = decode_result(entry["payload"])
+            except Exception:
+                # A torn or stale payload must degrade to a recompute;
+                # re-book the optimistic hit as a miss.
+                assert cache is not None
+                cache.stats.hits -= 1
+                cache.stats.misses += 1
+                runlog.emit("cache_miss", experiment=experiment,
+                            index=index, key=key)
+                pending.append((index, item, key))
+                continue
+            results[index] = value
+            seen[index] = True
+            runlog.emit("cache_hit", experiment=experiment, index=index,
+                        key=key)
+            if on_result is not None:
+                on_result(index, value, True)
+            continue
+        if key is not None:
+            runlog.emit("cache_miss", experiment=experiment, index=index,
+                        key=key)
+        pending.append((index, item, key))
+    if pending:
+        for sub_index, result in executor.run_tasks(
+                task, [item for _, item, _ in pending]):
+            index, _, key = pending[sub_index]
+            results[index] = result
+            seen[index] = True
+            if (key is not None and cache is not None
+                    and not isinstance(result, QuarantinedTask)):
+                try:
+                    payload = encode_result(result)
+                except Exception:
+                    cache.stats.uncacheable += 1
+                else:
+                    cache.put(key, experiment=experiment, trial=index,
+                              kind=KIND_PICKLE, payload=payload,
+                              fingerprint=keyer.fingerprint  # type: ignore[union-attr]
+                              )
+                    runlog.emit("cache_store", experiment=experiment,
+                                index=index, key=key)
+            if on_result is not None:
+                on_result(index, result, False)
+    if not all(seen):
+        missing = [i for i, ok in enumerate(seen) if not ok]
+        raise ParallelExecutionError(
+            f"executor dropped task indices {missing}")
+    return results
+
+
+__all__ = [
+    "CACHE_MARKER",
+    "CACHE_VERSION",
+    "CacheStats",
+    "ENTRY_SUFFIX",
+    "KIND_PICKLE",
+    "KIND_RECORD",
+    "TrialCache",
+    "TrialKeyer",
+    "cached_map",
+    "decode_result",
+    "encode_result",
+    "resolve_cache",
+]

@@ -16,6 +16,8 @@ Usage::
     python -m repro faults --journal out/j --progress # live progress line
     python -m repro report out/j         # run report from journal+runlog
     python -m repro perf check BENCH_obs.json         # perf budget check
+    python -m repro faults --cache out/cache          # warm re-runs are free
+    python -m repro cache stats out/cache             # inspect the store
 
 Every figure command prints the same rows the corresponding benchmark
 asserts on, at a configurable scale.  ``faults`` runs the fault-injection
@@ -32,6 +34,11 @@ streams run events to a JSONL file (auto-enabled as ``run.jsonl`` beside
 line on stderr.  Both leave journal bytes and stdout untouched, so the
 determinism contract is unaffected.
 
+Result caching (``docs/caching.md``): ``--cache DIR`` (or the
+``REPRO_CACHE`` environment variable) attaches a content-addressed
+trial cache — warm re-runs replay stored results and print the same
+bytes; ``python -m repro cache stats|gc|clear`` maintains the store.
+
 Error paths exit nonzero with a one-line ``error: ...`` message on
 stderr — no tracebacks.
 """
@@ -39,6 +46,7 @@ stderr — no tracebacks.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional
@@ -79,6 +87,11 @@ def _executor(args):
     runlog = getattr(args, "_runlog", None)
     if runlog is not None:
         executor.runlog = runlog
+    cache = getattr(args, "_cache", None)
+    if cache is not None:
+        # Studies resolve the cache off the executor the same way they
+        # resolve the runlog — one attachment covers a whole command.
+        executor.cache = cache
     args._executor_instance = executor
     return executor
 
@@ -420,6 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--crash-probability", type=float, default=0.0,
                         help="per-trial injected crash probability "
                              "(faults only)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed trial-result cache under "
+                             "DIR (default: $REPRO_CACHE if set); warm "
+                             "re-runs replay stored trials byte-for-byte")
     parser.add_argument("--runlog", metavar="PATH", default=None,
                         help="append run-level events (trial completions, "
                              "supervision actions) to PATH as JSONL; "
@@ -454,13 +471,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.obs.perfstore import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "cache":
+        # And the cache-maintenance subcommand (stats/gc/clear).
+        from repro.cache.cli import main as cache_main
+
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
-        for name in sorted([*_COMMANDS, "lint", "trace", "report", "perf"]):
+        for name in sorted([*_COMMANDS, "cache", "lint", "trace", "report",
+                            "perf"]):
             print(name)
         return 0
     if args.trials < 1:
         print(f"error: --trials must be at least 1 (got {args.trials})",
+              file=sys.stderr)
+        return 2
+    if args.pages < 1:
+        print(f"error: --pages must be at least 1 (got {args.pages})",
+              file=sys.stderr)
+        return 2
+    if args.media_s <= 0:
+        print(f"error: --media-s must be positive (got {args.media_s})",
               file=sys.stderr)
         return 2
     if args.jobs < 1:
@@ -490,6 +521,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     runlog = _build_runlog(args)
     if runlog is not None:
         args._runlog = runlog
+    cache_dir = args.cache if args.cache is not None \
+        else os.environ.get("REPRO_CACHE")
+    if cache_dir:
+        from repro.cache import TrialCache
+
+        args._cache = TrialCache(Path(cache_dir))
     try:
         _COMMANDS[args.figure](args)
     except KeyboardInterrupt:
@@ -513,6 +550,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"supervision: {totals.pool_rebuilds} rebuilds, "
                   f"{totals.task_retries} retries, "
                   f"{len(totals.quarantined)} quarantined", file=sys.stderr)
+        cache = getattr(args, "_cache", None)
+        if cache is not None and cache.stats.lookups:
+            print(cache.stats.line(), file=sys.stderr)
     return 0
 
 

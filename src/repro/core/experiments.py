@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, TypeVar, Union
 
 from repro.analysis.stats import Summary, summarize
+from repro.cache import KIND_RECORD, TrialCache, TrialKeyer, cached_map, resolve_cache
 from repro.obs import MetricsRegistry, merge_snapshots
 from repro.obs.runlog import (
     AnyRunLog,
@@ -61,6 +62,7 @@ from repro.obs.runlog import (
 )
 from repro.parallel import (
     Executor,
+    ParallelExecutionError,
     QuarantinedTask,
     SerialExecutor,
     SupervisionReport,
@@ -117,38 +119,45 @@ class TrialRunner:
 
     def __init__(self, trials: int = 5, experiment: str = "exp",
                  executor: Optional[Executor] = None,
-                 runlog: Optional[RunLog] = None):
+                 runlog: Optional[RunLog] = None,
+                 cache: Optional[TrialCache] = None):
         if trials < 1:
             raise ValueError("need at least one trial")
         self.trials = trials
         self.experiment = experiment
         self.executor = executor or SerialExecutor()
         self.runlog = runlog
+        self.cache = cache
 
     def run(self, trial_fn: Callable[[int], T]) -> list[T]:
         """Execute all trials; returns their results in trial order."""
         seeds = [derive_seed(self.experiment, index)
                  for index in range(self.trials)]
         runlog = _resolve_runlog(self)
+        cache = resolve_cache(self.cache, self.executor)
         if not runlog.enabled:
-            return self.executor.map(trial_fn, seeds)
+            # cached_map keeps Executor.map's contract (item-order
+            # results, ParallelExecutionError on dropped indices).
+            return cached_map(self.executor, trial_fn, seeds,
+                              experiment=self.experiment, cache=cache,
+                              runlog=runlog)
         # Same merge as Executor.map, with one runlog line per finished
-        # trial so `--progress` has a live done/total signal.
+        # trial so `--progress` has a live done/total signal.  Cache hits
+        # emit the same deterministic line an executed trial would.
         runlog.emit("run_start", experiment=self.experiment,
                     trials=self.trials, pending=self.trials, resumed=0,
                     runlog_version=RUNLOG_VERSION,
                     config={"jobs": getattr(self.executor, "jobs", 1)})
-        results: list = [None] * len(seeds)
-        seen = [False] * len(seeds)
-        for index, result in self.executor.run_tasks(trial_fn, seeds):
-            results[index] = result
-            seen[index] = True
+
+        def note(index: int, result: Any, was_cached: bool) -> None:
             runlog.emit("trial_complete", trial=index, status=TRIAL_OK)
-        if not all(seen):
-            missing = [i for i, ok in enumerate(seen) if not ok]
-            raise TrialError(self.experiment, missing[0],
-                             seeds[missing[0]],
-                             f"executor dropped trial indices {missing}")
+
+        try:
+            results = cached_map(self.executor, trial_fn, seeds,
+                                 experiment=self.experiment, cache=cache,
+                                 runlog=runlog, on_result=note)
+        except ParallelExecutionError as error:
+            raise TrialError(self.experiment, -1, 0, str(error)) from error
         runlog.emit("run_end", completed=self.trials, failures=0,
                     quarantined=0)
         return results
@@ -328,6 +337,7 @@ class RobustTrialRunner:
         journal_path: Optional[Union[str, Path]] = None,
         executor: Optional[Executor] = None,
         runlog: Optional[RunLog] = None,
+        cache: Optional[TrialCache] = None,
     ):
         if trials < 1:
             raise ValueError("need at least one trial")
@@ -345,6 +355,7 @@ class RobustTrialRunner:
         self.journal_path = Path(journal_path) if journal_path else None
         self.executor = executor or SerialExecutor()
         self.runlog = runlog
+        self.cache = cache
 
     # -- journal ----------------------------------------------------------
 
@@ -464,6 +475,26 @@ class RobustTrialRunner:
         )
         task = _TrialTask(runner=self, trial_fn=trial_fn,
                           pass_budget=pass_budget, pass_metrics=pass_metrics)
+        # Cache partition: trials whose exact (params, seed, code) result
+        # is already stored replay their journal row without dispatching;
+        # everything else runs.  Only the parent consults or writes the
+        # cache, same single-writer discipline as the journal itself.
+        keyer = TrialKeyer.create(
+            resolve_cache(self.cache, self.executor), trial_fn,
+            experiment=self.experiment,
+            extra={"max_attempts": self.max_attempts,
+                   "step_budget": self.step_budget},
+            code_extra=(type(self),),
+        )
+        to_run: list[int] = []
+        for trial in pending:
+            record = self._cached_record(keyer, trial, runlog)
+            if record is None:
+                to_run.append(trial)
+                continue
+            records[record.trial] = record
+            self._write_journal(records)
+            self._emit_trial_complete(runlog, record, wall_s=0.0)
         # Workers hand records back; only this (parent) process merges them
         # and touches the journal file.  The merge is keyed by trial index,
         # so completion order never reaches the output.  A supervised
@@ -473,24 +504,18 @@ class RobustTrialRunner:
         # taxonomy below.  The journal is flushed after every record, so
         # a KeyboardInterrupt out of the executor's signal drain leaves a
         # resumable journal behind.
-        for index, result in self.executor.run_tasks(task, pending):
+        for index, result in self.executor.run_tasks(task, to_run):
             if isinstance(result, QuarantinedTask):
-                record = self._quarantined_record(pending[index], result)
+                record = self._quarantined_record(to_run[index], result)
                 report.quarantined += 1
             else:
                 record = result
             records[record.trial] = record
             self._write_journal(records)
-            # Everything but the wall timing is seed-determined, so the
-            # runlog's deterministic view replays byte-identically; the
-            # host timing rides along under the `host` key.
-            runlog.emit(
-                "trial_complete", trial=record.trial, status=record.status,
-                attempts=record.attempts, value=record.value,
-                steps=record.steps, error=record.error[:200],
-                metrics_digest=snapshot_digest(record.metrics),
-                host={"wall_s": round(record.duration_wall_s, 6)},
-            )
+            self._emit_trial_complete(
+                runlog, record, wall_s=round(record.duration_wall_s, 6))
+            if not isinstance(result, QuarantinedTask):
+                self._store_record(keyer, record, runlog)
         report.supervision = getattr(self.executor, "last_supervision", None)
         if not pending:
             # Every trial was satisfied from the journal: rewrite it anyway
@@ -500,6 +525,71 @@ class RobustTrialRunner:
         runlog.emit("run_end", completed=report.completed,
                     failures=report.failures, quarantined=report.quarantined)
         return report
+
+    # -- result cache ------------------------------------------------------
+
+    def _emit_trial_complete(self, runlog: AnyRunLog, record: TrialRecord,
+                             wall_s: float) -> None:
+        # Everything but the wall timing is seed-determined, so the
+        # runlog's deterministic view replays byte-identically; the
+        # host timing rides along under the `host` key.  Cache hits pass
+        # wall_s=0.0 — the replay cost, not the original compute cost.
+        runlog.emit(
+            "trial_complete", trial=record.trial, status=record.status,
+            attempts=record.attempts, value=record.value,
+            steps=record.steps, error=record.error[:200],
+            metrics_digest=snapshot_digest(record.metrics),
+            host={"wall_s": wall_s},
+        )
+
+    def _cached_record(self, keyer: Optional[TrialKeyer], trial: int,
+                       runlog: AnyRunLog) -> Optional[TrialRecord]:
+        """The stored record for one pending trial, or ``None`` to run it.
+
+        Only ``ok`` rows are ever trusted from the store (failures re-run
+        deterministically, so replay and re-execution agree anyway); a
+        torn or mismatched entry is re-booked as a miss.
+        """
+        if keyer is None:
+            return None
+        key = keyer.key(trial, derive_seed(self.experiment, trial))
+        if key is None:
+            return None
+        entry = keyer.cache.get(key)
+        if entry is None:
+            runlog.emit("cache_miss", experiment=self.experiment,
+                        trial=trial, key=key)
+            return None
+        record: Optional[TrialRecord]
+        try:
+            record = (TrialRecord.from_dict(entry["payload"])
+                      if entry.get("kind") == KIND_RECORD else None)
+        except (KeyError, TypeError, ValueError):
+            record = None
+        if record is None or record.trial != trial or not record.ok:
+            keyer.cache.stats.hits -= 1
+            keyer.cache.stats.misses += 1
+            runlog.emit("cache_miss", experiment=self.experiment,
+                        trial=trial, key=key)
+            return None
+        runlog.emit("cache_hit", experiment=self.experiment, trial=trial,
+                    key=key)
+        return record
+
+    def _store_record(self, keyer: Optional[TrialKeyer],
+                      record: TrialRecord, runlog: AnyRunLog) -> None:
+        if keyer is None or not record.ok:
+            return
+        key = keyer.key(record.trial,
+                        derive_seed(self.experiment, record.trial))
+        if key is None:
+            return
+        keyer.cache.put(key, experiment=self.experiment,
+                        trial=record.trial, kind=KIND_RECORD,
+                        payload=self._journal_row(record),
+                        fingerprint=keyer.fingerprint)
+        runlog.emit("cache_store", experiment=self.experiment,
+                    trial=record.trial, key=key)
 
     def _quarantined_record(self, trial: int,
                             quarantined: QuarantinedTask) -> TrialRecord:

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary
+from repro.cache import TrialCache
 from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import RobustRunReport, RobustTrialRunner
 from repro.device import Device, DeviceSpec, NEXUS4
@@ -66,6 +67,9 @@ class FaultStudyConfig:
     journal_dir: Optional[Path] = None
     #: Trial dispatch layer; None means in-process serial execution.
     executor: Optional[Executor] = None
+    #: Content-addressed result cache; None checks the executor for an
+    #: attached one (see :mod:`repro.cache`).
+    cache: Optional[TrialCache] = None
 
 
 @dataclass
@@ -85,6 +89,19 @@ class FaultStudy:
         self.corpus: list[PageSpec] = generate_corpus(
             self.config.n_pages, factory=RegexWorkloadFactory(),
         )
+
+    def cache_params(self) -> dict:
+        """Config facets a faulted trial depends on (cache key input).
+
+        ``n_pages`` stands in for the corpus (the generator is a pure
+        function of it); journal/executor/trial-count knobs shape the
+        run, not any single trial, so they stay out.  The runner's
+        retry/budget policy joins the key separately (see
+        ``RobustTrialRunner``).
+        """
+        return {"n_pages": self.config.n_pages, "clip": self.config.clip,
+                "link": self.config.link,
+                "background_jitter": self.config.background_jitter}
 
     # -- one faulted session ----------------------------------------------
 
@@ -138,6 +155,7 @@ class FaultStudy:
             max_attempts=self.config.max_attempts,
             step_budget=self.config.step_budget, journal_path=journal,
             executor=self.config.executor,
+            cache=self.config.cache,
         )
 
     def _web_point(self, experiment: str, label: str, plan: FaultPlan,

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
-from repro.core.experiments import derive_seed
+from repro.cache import TrialCache, cached_map
 from repro.device import Device, DeviceSpec, NEXUS4
 from repro.netstack import HostStack, HttpClient, Link, LinkSpec
 from repro.parallel import Executor, SerialExecutor, drop_quarantined
@@ -87,6 +87,7 @@ def joint_network_device_grid(
     clocks_mhz: Sequence[int] = (384, 810, 1512),
     n_pages: int = 4,
     executor: Optional[Executor] = None,
+    cache: Optional[TrialCache] = None,
 ) -> list[JointPoint]:
     """PLT over the bandwidth × clock grid.
 
@@ -102,8 +103,9 @@ def joint_network_device_grid(
             # drop_quarantined: supervised executors may retire a page
             # load after repeated host faults; the cell averages whatever
             # loads survived (n=0 renders "n/a", times fall back to 0).
-            results = drop_quarantined(
-                executor.map(_GridLoadTask(spec, link_spec, mhz), pages))
+            results = drop_quarantined(cached_map(
+                executor, _GridLoadTask(spec, link_spec, mhz), pages,
+                experiment=f"joint:{mbps}:{mhz}", cache=cache))
             n = len(results) or 1
             points.append(JointPoint(
                 bandwidth_mbps=mbps,
@@ -136,6 +138,7 @@ def tls_overhead(
     clocks_mhz: Sequence[int] = (384, 810, 1512),
     n_pages: int = 4,
     executor: Optional[Executor] = None,
+    cache: Optional[TrialCache] = None,
 ) -> list[TlsPoint]:
     """PLT with and without TLS across clocks.
 
@@ -150,10 +153,12 @@ def tls_overhead(
     link_spec = LinkSpec()
     points = []
     for mhz in clocks_mhz:
-        tls_on = drop_quarantined(executor.map(
-            _GridLoadTask(spec, link_spec, mhz, tls=True), pages))
-        tls_off = drop_quarantined(executor.map(
-            _GridLoadTask(spec, link_spec, mhz, tls=False), pages))
+        tls_on = drop_quarantined(cached_map(
+            executor, _GridLoadTask(spec, link_spec, mhz, tls=True), pages,
+            experiment=f"tls:{mhz}:on", cache=cache))
+        tls_off = drop_quarantined(cached_map(
+            executor, _GridLoadTask(spec, link_spec, mhz, tls=False), pages,
+            experiment=f"tls:{mhz}:off", cache=cache))
         points.append(TlsPoint(
             clock_mhz=mhz,
             plt_tls=summarize([r.plt for r in tls_on]),
@@ -168,6 +173,7 @@ def browsers_vs_clock(
     clocks_mhz: Sequence[int] = (384, 1512),
     n_pages: int = 4,
     executor: Optional[Executor] = None,
+    cache: Optional[TrialCache] = None,
 ) -> dict[str, dict[int, Summary]]:
     """PLT per browser profile across clocks.
 
@@ -182,10 +188,12 @@ def browsers_vs_clock(
     for browser_name in browsers:
         table[browser_name] = {}
         for mhz in clocks_mhz:
-            results = drop_quarantined(executor.map(
+            results = drop_quarantined(cached_map(
+                executor,
                 _GridLoadTask(spec, link_spec, mhz,
                               browser_name=browser_name),
-                pages,
+                pages, experiment=f"browsers:{browser_name}:{mhz}",
+                cache=cache,
             ))
             table[browser_name][mhz] = summarize([r.plt for r in results])
     return table

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
+from repro.cache import TrialCache, cached_map
 from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
@@ -25,6 +26,9 @@ class VideoStudyConfig:
     background_jitter: bool = True
     #: Trial dispatch layer; None means in-process serial execution.
     executor: Optional[Executor] = None
+    #: Content-addressed result cache; None checks the executor for an
+    #: attached one (see :mod:`repro.cache`).
+    cache: Optional[TrialCache] = None
 
 
 @dataclass
@@ -43,6 +47,11 @@ class VideoStudy:
         self.config = config or VideoStudyConfig()
         self.executor = self.config.executor or SerialExecutor()
 
+    def cache_params(self) -> dict:
+        """Config facets a streaming result depends on (cache key input)."""
+        return {"clip": self.config.clip, "link": self.config.link,
+                "background_jitter": self.config.background_jitter}
+
     def stream_once(self, spec: DeviceSpec, seed: int,
                     **device_kwargs) -> StreamingResult:
         """One full streaming session on a fresh device."""
@@ -60,9 +69,10 @@ class VideoStudy:
                  for t in range(self.config.trials)]
         # Quarantined trials (supervised executors only) shrink n rather
         # than failing the sweep — same degradation as sim-level faults.
-        results = drop_quarantined(self.executor.map(
+        results = drop_quarantined(cached_map(
+            self.executor,
             _StreamTask(study=self, spec=spec, device_kwargs=device_kwargs),
-            seeds,
+            seeds, experiment=experiment, cache=self.config.cache,
         ))
         return StreamingPoint(
             label=label,

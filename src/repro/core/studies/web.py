@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
+from repro.cache import TrialCache, cached_map
 from repro.core.background import BackgroundLoad, make_rng
 from repro.core.experiments import derive_seed
 from repro.device import Device, DeviceSpec, GOVERNOR_CODES, NEXUS4, TABLE1_DEVICES
@@ -40,6 +41,9 @@ class WebStudyConfig:
     background_jitter: bool = True
     #: Trial dispatch layer; None means in-process serial execution.
     executor: Optional[Executor] = None
+    #: Content-addressed result cache; None checks the executor for an
+    #: attached one (see :mod:`repro.cache`).
+    cache: Optional[TrialCache] = None
 
 
 @dataclass
@@ -66,6 +70,16 @@ class WebStudy:
             factory=self._factory,
         )
 
+    def cache_params(self) -> dict:
+        """Config facets a page-load result depends on (cache key input).
+
+        The executor and scale knobs stay out: the pages themselves
+        travel in the task, and how trials are dispatched can never
+        change what one trial computes.
+        """
+        return {"link": self.config.link,
+                "background_jitter": self.config.background_jitter}
+
     # -- one load ---------------------------------------------------------
 
     def load_page(self, spec: DeviceSpec, page: PageSpec, seed: int,
@@ -87,12 +101,16 @@ class WebStudy:
         seeds = [derive_seed(experiment, trial)
                  for trial in range(self.config.trials)]
         out: list[PageLoadResult] = []
-        # map() returns trial-order results whatever the completion order,
-        # so the flattened list matches the serial loop exactly.  A
-        # supervised executor may quarantine a trial after repeated
-        # host-level faults; the sweep then summarizes the trials that
-        # survived (smaller n), mirroring how sim-level failures degrade.
-        for trial_results in drop_quarantined(self.executor.map(task, seeds)):
+        # cached_map() returns trial-order results whatever the completion
+        # order, so the flattened list matches the serial loop exactly —
+        # and replays any trial whose exact (params, seed, code) result
+        # is already stored.  A supervised executor may quarantine a
+        # trial after repeated host-level faults; the sweep then
+        # summarizes the trials that survived (smaller n), mirroring how
+        # sim-level failures degrade.
+        mapped = cached_map(self.executor, task, seeds,
+                            experiment=experiment, cache=self.config.cache)
+        for trial_results in drop_quarantined(mapped):
             out.extend(trial_results)
         return out
 

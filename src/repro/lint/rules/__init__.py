@@ -122,6 +122,7 @@ def walk_function_body(func: ast.AST) -> Iterator[ast.AST]:
     return _walk_function_body(func)
 
 
+from repro.lint.rules.cache import CacheDirectWriteRule  # noqa: E402
 from repro.lint.rules.catalog import CatalogSchemaRule  # noqa: E402
 from repro.lint.rules.dataflow import (  # noqa: E402
     ALL_PROJECT_RULES,
@@ -167,6 +168,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     RunlogDirectWriteRule(),
     RawProcessFanoutRule(),
     RawSignalHandlerRule(),
+    CacheDirectWriteRule(),
 )
 
 

@@ -1,0 +1,82 @@
+"""Result-cache rules (CSH8xx).
+
+The content-addressed trial cache (:mod:`repro.cache`) has the same
+single-writer discipline as the runlog: entries are keyed by a digest of
+the trial's inputs plus a code fingerprint, written atomically by the
+parent process, and validated on read.  A hand-rolled write against the
+cache layout — ``*.cache.json`` entry files or the ``repro-cache.json``
+marker — bypasses the key derivation, the schema version, and the
+atomic-replace protocol, and can poison every later warm run with a
+stale or malformed payload.  CSH801 flags write-shaped calls that
+mention those paths anywhere outside the cache package itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule, call_name
+from repro.lint.rules.obs import _opens_for_write
+
+_CACHE_MARKERS = (".cache.json", "repro-cache.json")
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _mentions_cache_path(node: ast.Call) -> bool:
+    return any(
+        isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+        and any(marker in sub.value for marker in _CACHE_MARKERS)
+        for sub in ast.walk(node)
+    )
+
+
+class CacheDirectWriteRule(Rule):
+    """CSH801: direct cache-entry write outside repro.cache."""
+
+    id = "CSH801"
+    severity = Severity.WARNING
+    title = "direct cache-entry write bypassing repro.cache"
+    rationale = (
+        "repro.cache.TrialCache is the only sanctioned writer of "
+        "*.cache.json entries and the repro-cache.json marker: it owns "
+        "the content-addressed key derivation, the entry schema version, "
+        "and the atomic tmp-then-replace protocol. A direct "
+        "write_text/write_bytes/open(..., 'w'/'a') against those paths "
+        "can plant an entry whose key does not match its payload, and a "
+        "later warm run will replay it as if it were a real result. Go "
+        "through TrialCache.put() instead."
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        # The cache package implements the layout; everyone else puts.
+        return "/repro/cache/" not in context.norm_path
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # Same computed-receiver handling as OBS502: take the
+            # attribute name straight off the func node when present.
+            if isinstance(node.func, ast.Attribute):
+                tail = node.func.attr
+            else:
+                name = call_name(node)
+                if name is None:
+                    continue
+                tail = name.rsplit(".", 1)[-1]
+            is_write = tail in _WRITE_METHODS or (
+                tail == "open" and _opens_for_write(node)
+            )
+            if not is_write or not _mentions_cache_path(node):
+                continue
+            yield self.finding(
+                context, node,
+                f"direct {tail}() on a cache-entry path; go through "
+                f"repro.cache.TrialCache so keys, schema, and atomic "
+                f"writes hold",
+            )
+
+
+__all__ = ["CacheDirectWriteRule"]

@@ -21,9 +21,14 @@ host-side estimate and never feeds back into any result.
 
 from __future__ import annotations
 
+import shutil
 import sys
 import time
 from typing import Any, Callable, Dict, Optional, TextIO
+
+
+def _terminal_columns() -> int:
+    return shutil.get_terminal_size().columns
 
 
 def _fmt_eta(seconds: float) -> str:
@@ -43,14 +48,17 @@ class ProgressRenderer:
     ``clock`` is injectable for tests; the default reads the host's
     monotonic clock — progress is a host-side display, so this is one of
     the few sanctioned wall-clock reads outside the runner's watchdogs.
+    ``width`` is likewise injectable; the default asks the terminal.
     """
 
     def __init__(self, stream: Optional[TextIO] = None,
                  interval_s: float = 1.0,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 width: Optional[Callable[[], int]] = None):
         self.stream = stream if stream is not None else sys.stderr
         self.interval_s = interval_s
         self._clock = clock if clock is not None else time.monotonic
+        self._width = width if width is not None else _terminal_columns
         self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._last_width = 0
         self._last_render = float("-inf")
@@ -64,6 +72,7 @@ class ProgressRenderer:
         self.retries = 0
         self.quarantined = 0
         self.rebuilds = 0
+        self.cached = 0
         self.workers = 1
         self._fresh_done = 0  #: completions observed live (ETA basis)
         self._started = self._clock()
@@ -95,6 +104,9 @@ class ProgressRenderer:
         elif kind == "pool_rebuild":
             self.rebuilds += 1
             self._render()
+        elif kind == "cache_hit":
+            self.cached += 1
+            self._render()
         elif kind == "run_end":
             self._render(force=True)
             self.finish()
@@ -120,6 +132,8 @@ class ProgressRenderer:
             parts.append(f"{self.quarantined} quarantined")
         if self.rebuilds:
             parts.append(f"{self.rebuilds} pool rebuilds")
+        if self.cached:
+            parts.append(f"{self.cached} cached")
         if self.workers > 1:
             parts.append(f"{self.workers} workers")
         eta = self._eta_s()
@@ -135,7 +149,13 @@ class ProgressRenderer:
         self._last_render = now
         line = self.status_line()
         if self._isatty:
-            padded = line.ljust(self._last_width)
+            # Clamp to the terminal: a line longer than the row wraps,
+            # and the next \r then rewrites only the wrapped tail,
+            # leaving corrupted fragments of the previous render behind.
+            columns = max(int(self._width()), 2)
+            if len(line) > columns - 1:
+                line = line[: columns - 1]
+            padded = line.ljust(min(self._last_width, columns - 1))
             self._last_width = len(line)
             self.stream.write("\r" + padded)
         else:

@@ -199,6 +199,26 @@ def dispatch_counts(events: Sequence[Event]) -> Dict[str, int]:
     return counts
 
 
+def cache_counts(events: Sequence[Event]) -> Dict[str, int]:
+    """Result-cache traffic recorded by :mod:`repro.cache` host events."""
+    counts = {"cache_hit": 0, "cache_miss": 0, "cache_store": 0}
+    for event in events:
+        kind = event.get("event")
+        if kind in counts:
+            counts[kind] += 1
+    return counts
+
+
+def cache_line(counts: Dict[str, int]) -> Optional[str]:
+    """One-line cache summary, or None when the run never consulted one."""
+    lookups = counts["cache_hit"] + counts["cache_miss"]
+    if not lookups:
+        return None
+    ratio = counts["cache_hit"] / lookups
+    return (f"{counts['cache_hit']} hits, {counts['cache_miss']} misses, "
+            f"{counts['cache_store']} stores ({ratio:.0%} hit ratio)")
+
+
 def _slowest(journal: JournalView,
              walls: Dict[str, Dict[int, float]],
              top_k: int) -> Tuple[str, List[Tuple[int, float]]]:
@@ -291,6 +311,9 @@ def render_text(data: ReportData, top_k: int = 3) -> str:
         for experiment, description in timeline:
             prefix = f"  [{experiment}] " if experiment else "  "
             lines.append(prefix + description)
+        cached = cache_line(cache_counts(data.events))
+        if cached is not None:
+            lines.append(f"result cache: {cached}")
     else:
         lines.append("supervision: no runlog found "
                      "(run with --journal to record one)")
@@ -388,6 +411,10 @@ def render_html(data: ReportData, top_k: int = 3) -> str:
                 parts.append(f"<tr><td>{_esc(experiment)}</td>"
                              f"<td><code>{_esc(description)}</code></td></tr>")
             parts.append("</table>")
+        cached = cache_line(cache_counts(data.events))
+        if cached is not None:
+            parts.append(f"<p class=\"meta\">result cache: "
+                         f"{_esc(cached)}</p>")
     else:
         parts.append("<p class=\"meta\">no runlog found — run with "
                      "<code>--journal</code> to record one</p>")
@@ -438,6 +465,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 __all__ = [
     "JournalView",
     "ReportData",
+    "cache_counts",
+    "cache_line",
     "dispatch_counts",
     "host_wall_by_trial",
     "load_report_data",

@@ -23,7 +23,10 @@ an ``event`` field naming the shape:
 
 * host events (:data:`HOST_EVENTS`), emitted by the supervisor:
   ``task_dispatch``, ``task_complete``, ``task_retry``, ``pool_rebuild``,
-  ``hang_reclaim``, ``quarantine``, ``signal_drain``.
+  ``hang_reclaim``, ``quarantine``, ``signal_drain`` — plus the result
+  cache's ``cache_hit``/``cache_miss``/``cache_store``
+  (:mod:`repro.cache`): whether a trial was replayed or recomputed is a
+  fact about this host's cache state, never about the experiment.
 
 Determinism contract: host timing lives only under each event's ``host``
 key, and host *events* are a closed set, so
@@ -63,6 +66,9 @@ HOST_EVENTS = frozenset({
     "hang_reclaim",
     "quarantine",
     "signal_drain",
+    "cache_hit",
+    "cache_miss",
+    "cache_store",
 })
 
 Event = Dict[str, Any]

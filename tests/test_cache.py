@@ -1,0 +1,402 @@
+"""repro.cache unit coverage: keys, fingerprints, the store, cached_map.
+
+The contracts under test, in dependency order:
+
+* canonicalization is total-order stable (insertion order never leaks
+  into a key) and rejects values without a stable cross-run identity;
+* the code fingerprint flips when a transitively imported module
+  changes and holds when an unrelated one does;
+* the store round-trips entries atomically, treats anything it cannot
+  vouch for as a miss, and confines gc/clear to marked cache roots;
+* ``cached_map`` is ``executor.map`` with short-circuiting: hits skip
+  execution, misses dispatch and store, order is preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    CACHE_MARKER,
+    CACHE_VERSION,
+    KIND_PICKLE,
+    TrialCache,
+    TrialKeyer,
+    Uncacheable,
+    cached_map,
+    canonical_json,
+    canonicalize,
+    clear_caches,
+    code_fingerprint,
+    encode_result,
+    fingerprint_modules,
+    resolve_cache,
+    trial_key,
+)
+from repro.device import NEXUS4
+from repro.parallel import SerialExecutor
+
+
+# -- canonicalization -------------------------------------------------------
+
+def module_level_task(seed: int) -> int:
+    return seed * 2
+
+
+@dataclass(frozen=True)
+class ScaleTask:
+    """Canonicalizable module-level task for cached_map tests."""
+
+    scale: int
+
+    def __call__(self, seed: int) -> int:
+        CALLS.append(seed)
+        return seed * self.scale
+
+
+CALLS: list = []
+
+
+class WithParams:
+    """Opts into keys via the cache_params protocol."""
+
+    def __init__(self, wanted: int, hidden: object):
+        self.wanted = wanted
+        self.hidden = hidden  # never canonicalizable, never asked
+
+    def cache_params(self) -> dict:
+        return {"wanted": self.wanted}
+
+
+def test_scalars_pass_through():
+    for value in (None, True, 0, 3, "x", 2.5):
+        assert canonicalize(value) == value
+
+
+def test_dict_and_set_orders_never_reach_the_canonical_form():
+    a = canonicalize({"b": 1, "a": 2, "c": {3, 1, 2}})
+    b = canonicalize({"c": {2, 3, 1}, "a": 2, "b": 1})
+    assert a == b
+    assert canonical_json(a) == canonical_json(b)
+
+
+def test_dataclasses_carry_their_qualified_name():
+    canon = canonicalize(ScaleTask(scale=3))
+    assert canon[0] == "dc"
+    assert canon[1].endswith(":ScaleTask")
+    assert canon[2] == {"scale": 3}
+
+
+def test_device_spec_dataclass_is_canonicalizable():
+    canon = canonicalize(NEXUS4)
+    assert canon[0] == "dc"
+    assert canonical_json(canon) == canonical_json(canonicalize(NEXUS4))
+
+
+def test_cache_params_protocol_wins_over_introspection():
+    canon = canonicalize(WithParams(7, hidden=object()))
+    assert canon[0] == "params"
+    assert canon[2] == ["map", [["wanted", 7]]]
+
+
+def test_module_level_functions_have_a_stable_identity():
+    canon = canonicalize(module_level_task)
+    assert canon == ["fn", f"{__name__}:module_level_task"]
+
+
+def test_lambdas_and_local_functions_are_uncacheable():
+    with pytest.raises(Uncacheable):
+        canonicalize(lambda s: s)
+
+    def local(s):
+        return s
+
+    with pytest.raises(Uncacheable):
+        canonicalize(local)
+
+
+def test_arbitrary_objects_are_uncacheable():
+    with pytest.raises(Uncacheable):
+        canonicalize(object())
+
+
+def test_infrastructure_is_omitted_not_rejected():
+    executor = SerialExecutor()
+    assert canonicalize(executor) is None
+    assert canonicalize({"executor": executor, "n": 3}) == [
+        "map", [["n", 3]]]
+    assert canonicalize([1, executor, 2]) == ["seq", [1, 2]]
+
+
+# -- key stability (hypothesis) ---------------------------------------------
+
+_params = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(), st.floats(allow_nan=False,
+                                       allow_infinity=False),
+              st.text(max_size=8), st.booleans(), st.none()),
+    max_size=5,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=_params, experiment=st.text(min_size=1, max_size=16),
+       trial=st.integers(min_value=0, max_value=10_000),
+       item=st.integers())
+def test_trial_key_is_deterministic_and_order_free(params, experiment,
+                                                   trial, item):
+    canon = canonicalize(params)
+    reordered = canonicalize(dict(reversed(list(params.items()))))
+    key = trial_key(experiment, trial, item, canon, "f" * 16)
+    assert key == trial_key(experiment, trial, item, reordered, "f" * 16)
+    assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+
+
+@settings(max_examples=50, deadline=None)
+@given(experiment=st.text(min_size=1, max_size=16),
+       trial=st.integers(min_value=0, max_value=10_000))
+def test_trial_key_separates_trials_and_fingerprints(experiment, trial):
+    base = trial_key(experiment, trial, trial, None, "a" * 16)
+    assert base != trial_key(experiment, trial + 1, trial, None, "a" * 16)
+    assert base != trial_key(experiment, trial, trial, None, "b" * 16)
+    assert base != trial_key(experiment + "x", trial, trial, None, "a" * 16)
+
+
+# -- code fingerprints ------------------------------------------------------
+
+def _write_pkg(root, b_body="def helper():\n    return 1\n"):
+    pkg = root / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("from pkg.b import helper\n\n"
+                              "def trial(seed):\n"
+                              "    return helper() + seed\n")
+    (pkg / "b.py").write_text(b_body)
+    (pkg / "c.py").write_text("UNRELATED = True\n")
+    return pkg
+
+
+def test_fingerprint_flips_on_dependency_edit_only(tmp_path):
+    _write_pkg(tmp_path)
+    clear_caches()
+    before = fingerprint_modules(["pkg.a"], root=tmp_path)
+
+    # Editing the imported module must flip the fingerprint...
+    _write_pkg(tmp_path, b_body="def helper():\n    return 2\n")
+    clear_caches()
+    after = fingerprint_modules(["pkg.a"], root=tmp_path)
+    assert after != before
+
+    # ...and editing an unrelated module must not.
+    (tmp_path / "pkg" / "c.py").write_text("UNRELATED = False\n")
+    clear_caches()
+    assert fingerprint_modules(["pkg.a"], root=tmp_path) == after
+    clear_caches()  # leave no tmp-path models behind for other tests
+
+
+def test_fingerprint_is_memoized_per_start_set(tmp_path):
+    _write_pkg(tmp_path)
+    clear_caches()
+    first = fingerprint_modules(["pkg.a"], root=tmp_path)
+    assert fingerprint_modules(["pkg.a"], root=tmp_path) == first
+    assert fingerprint_modules(["pkg.c"], root=tmp_path) != first
+    clear_caches()
+
+
+def test_unlocatable_start_module_is_uncacheable(tmp_path):
+    (tmp_path / "empty").mkdir()
+    clear_caches()
+    with pytest.raises(Uncacheable):
+        fingerprint_modules(["no.such.module"], root=tmp_path / "empty")
+    clear_caches()
+
+
+def test_code_fingerprint_covers_the_trial_functions_own_module():
+    # The test module lives outside the package root; its source is
+    # resolved through sys.modules and still yields a fingerprint.
+    fingerprint = code_fingerprint(module_level_task)
+    assert len(fingerprint) == 16
+    assert fingerprint == code_fingerprint(ScaleTask(scale=2))
+
+
+# -- the store --------------------------------------------------------------
+
+def test_put_get_round_trip_and_marker(tmp_path):
+    cache = TrialCache(tmp_path / "cache")
+    key = "ab" + "0" * 62
+    cache.put(key, experiment="e", trial=3, kind=KIND_PICKLE,
+              payload=encode_result(41), fingerprint="f" * 16)
+    assert (tmp_path / "cache" / CACHE_MARKER).exists()
+    entry = cache.get(key)
+    assert entry is not None
+    assert (entry["experiment"], entry["trial"]) == ("e", 3)
+    assert cache.stats.hits == 1 and cache.stats.stores == 1
+    assert cache.entry_count() == 1
+    assert cache.total_bytes() > 0
+
+
+def test_absent_torn_and_versioned_entries_all_read_as_misses(tmp_path):
+    cache = TrialCache(tmp_path)
+    assert cache.get("aa" + "0" * 62) is None  # absent
+    path = cache._entry_path("ab" + "0" * 62)
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")  # torn
+    assert cache.get("ab" + "0" * 62) is None
+    path.write_text(json.dumps({"version": CACHE_VERSION + 1}))  # future
+    assert cache.get("ab" + "0" * 62) is None
+    assert cache.stats.misses == 3 and cache.stats.hits == 0
+    assert cache.stats.hit_ratio == 0.0
+
+
+def test_gc_and_clear_refuse_unmarked_directories(tmp_path):
+    stranger = tmp_path / "not-a-cache"
+    stranger.mkdir()
+    (stranger / "precious.txt").write_text("data")
+    cache = TrialCache(stranger)
+    with pytest.raises(ValueError):
+        cache.gc(max_age_days=0)
+    with pytest.raises(ValueError):
+        cache.clear()
+    assert (stranger / "precious.txt").exists()
+
+
+def test_gc_drops_old_then_oldest_until_fits(tmp_path):
+    import os
+
+    cache = TrialCache(tmp_path)
+    keys = [f"{i:02x}" + "0" * 62 for i in range(4)]
+    for i, key in enumerate(keys):
+        cache.put(key, experiment="e", trial=i, kind=KIND_PICKLE,
+                  payload=encode_result(i), fingerprint="f" * 16)
+    # Age the first two entries far into the past.
+    for key in keys[:2]:
+        os.utime(cache._entry_path(key), (1.0, 1.0))
+    assert cache.gc(max_age_days=365) == 2
+    assert cache.entry_count() == 2
+    assert cache.gc(max_bytes=0) == 2
+    assert cache.entry_count() == 0
+    assert TrialCache(tmp_path).clear() == 0
+
+
+def test_stats_line_format(tmp_path):
+    cache = TrialCache(tmp_path)
+    assert cache.stats.line() == "cache: 0 hits, 0 misses, 0 stores"
+    cache.stats.hits, cache.stats.misses, cache.stats.stores = 3, 1, 1
+    assert cache.stats.line() == ("cache: 3 hits, 1 misses, 1 stores "
+                                  "(75% hit ratio)")
+
+
+def test_resolve_cache_prefers_explicit_then_attached(tmp_path):
+    explicit = TrialCache(tmp_path / "a")
+    attached = TrialCache(tmp_path / "b")
+    executor = SerialExecutor()
+    executor.cache = attached
+    assert resolve_cache(None, executor) is attached
+    assert resolve_cache(explicit, executor) is explicit
+    assert resolve_cache(None, SerialExecutor()) is None
+    assert resolve_cache() is None
+
+
+# -- cached_map -------------------------------------------------------------
+
+def test_cached_map_hits_skip_execution_and_preserve_order(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = ScaleTask(scale=3)
+    CALLS.clear()
+    cold = cached_map(SerialExecutor(), task, [5, 1, 9],
+                      experiment="e", cache=cache)
+    assert cold == [15, 3, 27]
+    assert CALLS == [5, 1, 9]
+    assert (cache.stats.hits, cache.stats.misses,
+            cache.stats.stores) == (0, 3, 3)
+
+    CALLS.clear()
+    warm = cached_map(SerialExecutor(), task, [5, 1, 9],
+                      experiment="e", cache=cache)
+    assert warm == cold
+    assert CALLS == []  # every trial replayed from the store
+    assert cache.stats.hits == 3
+
+
+def test_cached_map_partial_warmth_dispatches_only_misses(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = ScaleTask(scale=2)
+    cached_map(SerialExecutor(), task, [1, 2], experiment="e", cache=cache)
+    CALLS.clear()
+    out = cached_map(SerialExecutor(), task, [1, 2, 3],
+                     experiment="e", cache=cache)
+    assert out == [2, 4, 6]
+    assert CALLS == [3]  # index 2 was the only miss
+
+
+def test_cached_map_without_a_cache_is_plain_map():
+    CALLS.clear()
+    out = cached_map(SerialExecutor(), ScaleTask(scale=2), [4, 5],
+                     experiment="e")
+    assert out == [8, 10]
+    assert CALLS == [4, 5]
+
+
+def test_cached_map_uncacheable_task_runs_uncached(tmp_path):
+    cache = TrialCache(tmp_path)
+    out = cached_map(SerialExecutor(), lambda s: s + 1, [1, 2],
+                     experiment="e", cache=cache)
+    assert out == [2, 3]
+    assert cache.stats.lookups == 0
+    assert cache.stats.uncacheable == 1
+    assert cache.entry_count() == 0
+
+
+def test_cached_map_reports_was_cached_through_on_result(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = ScaleTask(scale=2)
+    seen: list = []
+    cached_map(SerialExecutor(), task, [1], experiment="e", cache=cache,
+               on_result=lambda i, value, was_cached: seen.append(
+                   (i, value, was_cached)))
+    cached_map(SerialExecutor(), task, [1], experiment="e", cache=cache,
+               on_result=lambda i, value, was_cached: seen.append(
+                   (i, value, was_cached)))
+    assert seen == [(0, 2, False), (0, 2, True)]
+
+
+def test_experiment_and_scale_separate_cache_entries(tmp_path):
+    cache = TrialCache(tmp_path)
+    assert cached_map(SerialExecutor(), ScaleTask(scale=2), [3],
+                      experiment="e", cache=cache) == [6]
+    # Same item, different experiment: a miss, not a cross-talk hit.
+    assert cached_map(SerialExecutor(), ScaleTask(scale=2), [3],
+                      experiment="f", cache=cache) == [6]
+    # Same experiment, different task params: also a miss.
+    assert cached_map(SerialExecutor(), ScaleTask(scale=10), [3],
+                      experiment="e", cache=cache) == [30]
+    assert cache.stats.hits == 0 and cache.stats.misses == 3
+
+
+def test_torn_payload_demotes_the_hit_and_recomputes(tmp_path):
+    cache = TrialCache(tmp_path)
+    task = ScaleTask(scale=2)
+    cached_map(SerialExecutor(), task, [1], experiment="e", cache=cache)
+    # Corrupt the stored payload but keep the entry well-formed JSON.
+    path = next(iter(cache.iter_entries()))
+    entry = json.loads(path.read_text())
+    entry["payload"] = "!!! not base64 pickle !!!"
+    path.write_text(json.dumps(entry))
+    fresh = TrialCache(tmp_path)
+    assert cached_map(SerialExecutor(), task, [1], experiment="e",
+                      cache=fresh) == [2]
+    assert fresh.stats.hits == 0 and fresh.stats.misses == 1
+    assert fresh.stats.stores == 1  # the recompute re-stored a good entry
+
+
+def test_trial_keyer_disables_caching_for_uncacheable_extras(tmp_path):
+    cache = TrialCache(tmp_path)
+    assert TrialKeyer.create(None, ScaleTask(scale=1), experiment="e") is None
+    keyer = TrialKeyer.create(cache, ScaleTask(scale=1), experiment="e",
+                              extra={"unstable": object()})
+    assert keyer is None
+    assert cache.stats.uncacheable == 1

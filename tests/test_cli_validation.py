@@ -1,0 +1,71 @@
+"""Numeric-flag validation matrix: every bad value exits 2 with one line.
+
+The contract under test: an out-of-range numeric flag never reaches the
+study code.  The CLI prints exactly one ``error: ...`` line to stderr
+that names the flag and echoes the offending value, and exits 2 — it
+must never "succeed" by printing an all-zero figure (the ``--pages 0``
+regression) or crash with a traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+#: (argv suffix, flag name as it must appear in the message).
+#: --task-timeout / --max-task-retries ride on --jobs 2 because they are
+#: rejected outright under serial execution (a separate, earlier check).
+MATRIX = [
+    (["--pages", "0"], "--pages"),
+    (["--pages", "-3"], "--pages"),
+    (["--trials", "0"], "--trials"),
+    (["--trials", "-2"], "--trials"),
+    (["--media-s", "0"], "--media-s"),
+    (["--media-s", "-1.5"], "--media-s"),
+    (["--jobs", "0"], "--jobs"),
+    (["--jobs", "-4"], "--jobs"),
+    (["--jobs", "2", "--task-timeout", "0"], "--task-timeout"),
+    (["--jobs", "2", "--task-timeout", "-30"], "--task-timeout"),
+    (["--jobs", "2", "--max-task-retries", "-1"], "--max-task-retries"),
+    (["--crash-probability", "-0.1"], "--crash-probability"),
+    (["--crash-probability", "1.5"], "--crash-probability"),
+]
+
+
+@pytest.mark.parametrize("suffix,flag", MATRIX,
+                         ids=["_".join(s) for s, _ in MATRIX])
+@pytest.mark.parametrize("figure", ["faults", "fig3a"])
+def test_bad_numeric_flag_exits_2_naming_flag_and_value(
+        capsys, figure, suffix, flag):
+    assert main([figure] + suffix) == 2
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("error:")
+    assert len(err.splitlines()) == 1
+    assert flag in err
+    assert suffix[-1].lstrip("-").rstrip("0").rstrip(".") in err.replace(
+        "-", "")  # the offending value is echoed (sign/float-format free)
+    assert "Traceback" not in err
+
+
+def test_bad_flag_produces_no_stdout(capsys):
+    # Regression: `fig3a --pages 0` used to exit 0 and print a full
+    # figure of all-zero rows.
+    assert main(["fig3a", "--pages", "0"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "error: --pages must be at least 1 (got 0)" in captured.err
+
+
+def test_media_s_zero_is_rejected_before_any_simulation(capsys):
+    assert main(["fig5", "--media-s", "0"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "error: --media-s must be positive (got 0.0)" in captured.err
+
+
+def test_boundary_values_are_accepted_by_validation(capsys):
+    # 1 page / 1 trial / jobs 1 is the smallest legal run; it must get
+    # past validation (and all the way through for the fastest figure).
+    assert main(["fig3a", "--pages", "1", "--trials", "1"]) == 0
+    assert "error:" not in capsys.readouterr().err

@@ -116,6 +116,11 @@ FLAGGED = {
         def install(handler):
             signal.signal(signal.SIGINT, handler)
         """,
+    "CSH801": """
+        def plant(root, key, payload):
+            (root / "objects" / key[:2] / (key + ".cache.json")
+             ).write_text(payload)
+        """,
 }
 
 CLEAN = {
@@ -193,6 +198,14 @@ CLEAN = {
 
         def names():
             return [signal.SIGINT, signal.SIGTERM]
+        """,
+    "CSH801": """
+        import json
+
+        def stored(cache, key, result):
+            cache.put(key, experiment="e", trial=0, kind="pickle",
+                      payload=result, fingerprint="f")
+            return json.loads(cache._entry_path(key).read_text())
         """,
 }
 
@@ -275,6 +288,38 @@ def test_obs502_ignores_other_jsonl_files(tmp_path):
             (path / "events.jsonl").write_text(line)
         """
     assert lint_source(tmp_path, source, select=["OBS502"]).findings == []
+
+
+def test_csh801_exempts_the_cache_package(tmp_path):
+    report = lint_source(tmp_path, FLAGGED["CSH801"], select=["CSH801"],
+                         name="repro/cache/store.py")
+    assert report.findings == []
+
+
+def test_csh801_flags_marker_writes_and_ignores_reads(tmp_path):
+    marker = """
+        def stamp(root):
+            with open(root / "repro-cache.json", "w") as fh:
+                fh.write("{}")
+        """
+    assert rule_ids(lint_source(tmp_path, marker,
+                                select=["CSH801"])) == ["CSH801"]
+    reads = """
+        import json
+
+        def load(root, key):
+            path = root / "objects" / key[:2] / (key + ".cache.json")
+            return json.loads(path.read_text())
+        """
+    assert lint_source(tmp_path, reads, select=["CSH801"]).findings == []
+
+
+def test_csh801_ignores_other_json_files(tmp_path):
+    source = """
+        def save(path, payload):
+            (path / "results.json").write_text(payload)
+        """
+    assert lint_source(tmp_path, source, select=["CSH801"]).findings == []
 
 
 def test_flt401_flags_injector_without_rng_in_faults_package(tmp_path):

@@ -21,10 +21,11 @@ class TtyStream(io.StringIO):
         return True
 
 
-def make_renderer(tty: bool = False):
+def make_renderer(tty: bool = False, columns: int = 120):
     clock = FakeClock()
     stream = TtyStream() if tty else io.StringIO()
-    renderer = ProgressRenderer(stream=stream, interval_s=1.0, clock=clock)
+    renderer = ProgressRenderer(stream=stream, interval_s=1.0, clock=clock,
+                                width=lambda: columns)
     return renderer, stream, clock
 
 
@@ -104,6 +105,47 @@ def test_tty_stream_rewrites_in_place_and_finishes_with_newline():
     # Shorter lines are padded to cover the previous render.
     renderer.finish()  # idempotent once finished
     assert stream.getvalue() == output
+
+
+def test_tty_line_is_clamped_to_the_terminal_width():
+    # Regression: an over-width status line used to be written verbatim;
+    # it wrapped onto a second terminal row, and the next \r rewrite only
+    # covered the wrapped tail, leaving fragments of the old render.
+    renderer, stream, _ = make_renderer(tty=True, columns=30)
+    start(renderer, trials=500, jobs=8,
+          experiment="faults:web:ge:0.2-long-name")
+    renderer.handle({"event": "trial_complete", "trial": 0, "status": "ok"})
+    assert len(renderer.status_line()) > 30  # the bug needs an over-width line
+    for segment in stream.getvalue().split("\r")[1:]:
+        assert len(segment) <= 29  # columns - 1: no wrap, cursor stays on row
+
+
+def test_tty_padding_never_exceeds_the_terminal_width():
+    renderer, stream, _ = make_renderer(tty=True, columns=30)
+    start(renderer, trials=500, jobs=8,
+          experiment="faults:web:ge:0.2-long-name")
+    # A reset to a short line must not pad back out past the clamp.
+    start(renderer, trials=2, jobs=1, experiment="s")
+    last = stream.getvalue().split("\r")[-1]
+    assert len(last) <= 29
+
+
+def test_plain_stream_never_truncates():
+    renderer, stream, _ = make_renderer(tty=False, columns=10)
+    start(renderer, trials=500, experiment="faults:web:ge:0.2-long-name")
+    assert stream.getvalue().splitlines()[0] == renderer.status_line()
+
+
+def test_cache_hits_fold_into_a_cached_counter():
+    renderer, _, _ = make_renderer()
+    start(renderer, trials=4, jobs=1)
+    renderer.handle({"event": "cache_hit", "experiment": "exp", "trial": 0})
+    renderer.handle({"event": "cache_hit", "experiment": "exp", "trial": 1})
+    renderer.handle({"event": "cache_miss", "experiment": "exp", "trial": 2})
+    assert renderer.cached == 2
+    assert "2 cached" in renderer.status_line()
+    start(renderer, trials=3)  # run_start resets the counter
+    assert "cached" not in renderer.status_line()
 
 
 def test_renderer_works_as_a_runlog_listener(tmp_path):

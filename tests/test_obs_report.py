@@ -10,6 +10,8 @@ from repro.core.experiments import JOURNAL_VERSION, RobustTrialRunner
 from repro.obs.report import (
     JournalView,
     ReportData,
+    cache_counts,
+    cache_line,
     dispatch_counts,
     host_wall_by_trial,
     load_report_data,
@@ -160,6 +162,31 @@ def test_host_wall_and_timeline_extraction():
     ]
     assert dispatch_counts(CHAOS_EVENTS) == {"task_dispatch": 1,
                                              "task_complete": 1}
+
+
+def test_cache_counts_and_line():
+    events = [{"event": "cache_hit"}, {"event": "cache_hit"},
+              {"event": "cache_miss"}, {"event": "cache_store"},
+              {"event": "trial_complete"}]
+    counts = cache_counts(events)
+    assert counts == {"cache_hit": 2, "cache_miss": 1, "cache_store": 1}
+    assert cache_line(counts) == "2 hits, 1 misses, 1 stores (67% hit ratio)"
+    assert cache_line(cache_counts(CHAOS_EVENTS)) is None  # no cache traffic
+
+
+def test_renderers_show_cache_traffic_only_when_present(tmp_path):
+    data = ReportData(events=[
+        {"event": "run_start", "experiment": "e", "trials": 1},
+        {"event": "cache_hit", "index": 0},
+        {"event": "trial_complete", "trial": 0, "status": "ok"},
+    ])
+    assert "result cache: 1 hits, 0 misses" in render_text(data)
+    assert "result cache: 1 hits, 0 misses" in render_html(data)
+    quiet = ReportData(events=[
+        {"event": "run_start", "experiment": "e", "trials": 1},
+    ])
+    assert "result cache" not in render_text(quiet)
+    assert "result cache" not in render_html(quiet)
 
 
 # -- renderers ---------------------------------------------------------------

@@ -155,7 +155,8 @@ def test_deterministic_events_drop_host_events_and_host_keys():
 def test_host_events_is_the_closed_supervisor_set():
     assert HOST_EVENTS == {"task_dispatch", "task_complete", "task_retry",
                            "pool_rebuild", "hang_reclaim", "quarantine",
-                           "signal_drain"}
+                           "signal_drain", "cache_hit", "cache_miss",
+                           "cache_store"}
     assert deterministic_bytes([{"event": e} for e in HOST_EVENTS]) == b""
 
 
