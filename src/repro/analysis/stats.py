@@ -36,10 +36,13 @@ def median(values: Sequence[float]) -> float:
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    # Validate q before the empty-sample early return: an out-of-range
+    # quantile is a caller bug whatever the sample, and silently
+    # answering 0.0 for percentile([], 200) hid it.
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must lie in [0, 100] (got {q})")
     if not values:
         return 0.0
-    if not 0 <= q <= 100:
-        raise ValueError("q must lie in [0, 100]")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -47,7 +50,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     low = int(rank)
     high = min(low + 1, len(ordered) - 1)
     frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    # a + f*(b-a), not a*(1-f) + b*f: the two-product form can round a
+    # hair outside [a, b] (property-tested), this one cannot.
+    return ordered[low] + frac * (ordered[high] - ordered[low])
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ Usage::
     python -m repro perf check BENCH_obs.json         # perf budget check
     python -m repro faults --cache out/cache          # warm re-runs are free
     python -m repro cache stats out/cache             # inspect the store
+    python -m repro population --sessions 1000 --jobs 4   # fleet simulation
 
 Every figure command prints the same rows the corresponding benchmark
 asserts on, at a configurable scale.  ``faults`` runs the fault-injection
@@ -476,10 +477,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.cache.cli import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "population":
+        # And the fleet-simulation subcommand (--sessions/--seed/...).
+        from repro.population.cli import main as population_main
+
+        return population_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
         for name in sorted([*_COMMANDS, "cache", "lint", "trace", "report",
-                            "perf"]):
+                            "perf", "population"]):
             print(name)
         return 0
     if args.trials < 1:

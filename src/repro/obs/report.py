@@ -340,14 +340,30 @@ def _esc(value: Any) -> str:
     return html_escape.escape(str(value))
 
 
+def escape(value: Any) -> str:
+    """HTML-escape any value (public alias used by other renderers)."""
+    return _esc(value)
+
+
+def html_page(title: str, parts: Sequence[str]) -> str:
+    """Assemble a self-contained HTML document around rendered body parts.
+
+    One inline stylesheet, no external references — the convention every
+    repro HTML artifact follows so a CI artifact opens anywhere.
+    """
+    head = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    return "\n".join([*head, *parts, "</body></html>"]) + "\n"
+
+
 def render_html(data: ReportData, top_k: int = 3) -> str:
     walls = host_wall_by_trial(data.events)
     parts: List[str] = [
-        "<!DOCTYPE html>",
-        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
-        "<title>repro run report</title>",
-        f"<style>{_CSS}</style></head><body>",
-        "<h1>repro run report</h1>",
         f"<p class=\"meta\">sources: {len(data.journals)} journal(s), "
         f"runlog: {_esc(data.runlog_path) if data.runlog_path else '(none)'}"
         f"</p>",
@@ -418,8 +434,7 @@ def render_html(data: ReportData, top_k: int = 3) -> str:
     else:
         parts.append("<p class=\"meta\">no runlog found — run with "
                      "<code>--journal</code> to record one</p>")
-    parts.append("</body></html>")
-    return "\n".join(parts) + "\n"
+    return html_page("repro run report", parts)
 
 
 # -- CLI (python -m repro report) --------------------------------------------
@@ -468,7 +483,9 @@ __all__ = [
     "cache_counts",
     "cache_line",
     "dispatch_counts",
+    "escape",
     "host_wall_by_trial",
+    "html_page",
     "load_report_data",
     "main",
     "render_html",

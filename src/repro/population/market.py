@@ -1,0 +1,129 @@
+"""Market composition: device tiers, network profiles, workload mix.
+
+The default market mirrors how the paper frames the device landscape
+(§1, Table 1): a *low* tier of sub-$150 phones, a *mid* tier, a *high*
+tier of flagships, and a *legacy* tier synthesized from the 2011–2014
+slice of the Fig 1 spec-sheet population — phones still in circulation
+but no longer sold.  Shares are configurable; the defaults lean toward
+the low/mid end the way global shipment data does.
+
+Network profiles are deliberately coarse — the paper's point is that the
+*device* is the bottleneck even on good networks, so three profiles
+(wifi / LTE / congested 3G) span the relevant range.  The 3G profile is
+the HTTP-Archive-style cellular emulation already used by Fig 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.device.catalog import (
+    DeviceSpec,
+    GALAXY_S2_TAB,
+    GALAXY_S6_EDGE,
+    GIONEE_F103,
+    INTEX_AMAZE,
+    NEXUS4,
+    PIXEL2,
+    PIXEL_C_TAB,
+)
+from repro.netstack import LinkSpec
+from repro.workloads.history import generate_device_population
+
+#: Session workload kinds a fleet can mix (one simulated app each).
+WORKLOADS = ("web", "video", "rtc")
+
+#: Default session mix: browsing-heavy, like mobile traffic shares.
+DEFAULT_WORKLOAD_MIX: Tuple[Tuple[str, float], ...] = (
+    ("web", 0.5),
+    ("video", 0.3),
+    ("rtc", 0.2),
+)
+
+
+@dataclass(frozen=True)
+class DeviceTier:
+    """One market segment: a name, a market share, and its device pool.
+
+    ``share`` is a sampling weight (weights are normalized at draw time,
+    so tiers need not sum to 1).  The tier name ``"all"`` is reserved
+    for the aggregator's cross-tier rollup.
+    """
+
+    name: str
+    share: float
+    devices: Tuple[DeviceSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name cannot be empty")
+        if self.name == "all":
+            raise ValueError(
+                "tier name 'all' is reserved for the cross-tier rollup")
+        if self.share <= 0:
+            raise ValueError(
+                f"tier {self.name!r} share must be positive "
+                f"(got {self.share})")
+        if not self.devices:
+            raise ValueError(f"tier {self.name!r} needs at least one device")
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """One access-network condition with its sampling weight."""
+
+    name: str
+    share: float
+    link: LinkSpec
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("network profile name cannot be empty")
+        if self.share <= 0:
+            raise ValueError(
+                f"network {self.name!r} share must be positive "
+                f"(got {self.share})")
+
+
+#: Default network mix: mostly good access, a congested-cellular tail.
+DEFAULT_NETWORKS: Tuple[NetworkProfile, ...] = (
+    NetworkProfile("wifi", 0.45, LinkSpec(goodput_bps=48.5e6, rtt_s=0.010)),
+    NetworkProfile("lte", 0.35, LinkSpec(goodput_bps=12.0e6, rtt_s=0.045)),
+    NetworkProfile("cell3g", 0.20, LinkSpec(goodput_bps=1.6e6, rtt_s=0.150)),
+)
+
+
+def legacy_tier_devices(per_year: int = 3,
+                        newest_year: int = 2014) -> Tuple[DeviceSpec, ...]:
+    """Synthesized legacy handsets from the Fig 1 spec-sheet population.
+
+    Draws ``per_year`` rows per year from the seeded
+    :func:`~repro.workloads.history.generate_device_population` stream and
+    keeps the rows at or before ``newest_year`` — a deterministic pool of
+    still-circulating old phones.
+    """
+    rows = [d for d in generate_device_population(per_year=per_year)
+            if d.year <= newest_year]
+    return tuple(row.device_spec(serial=i) for i, row in enumerate(rows))
+
+
+def default_market() -> Tuple[DeviceTier, ...]:
+    """The default four-tier device market."""
+    return (
+        DeviceTier("low", 0.30, (INTEX_AMAZE, GIONEE_F103)),
+        DeviceTier("mid", 0.30, (NEXUS4, GALAXY_S2_TAB)),
+        DeviceTier("high", 0.25, (PIXEL_C_TAB, GALAXY_S6_EDGE, PIXEL2)),
+        DeviceTier("legacy", 0.15, legacy_tier_devices()),
+    )
+
+
+__all__ = [
+    "DEFAULT_NETWORKS",
+    "DEFAULT_WORKLOAD_MIX",
+    "DeviceTier",
+    "NetworkProfile",
+    "WORKLOADS",
+    "default_market",
+    "legacy_tier_devices",
+]

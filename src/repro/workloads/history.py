@@ -99,6 +99,32 @@ class HistoricalDevice:
     memory_gb: float
     os_version: float
 
+    def device_spec(self, serial: int = 0) -> DeviceSpec:
+        """A runnable :class:`DeviceSpec` for this spec-sheet row.
+
+        ``serial`` disambiguates the name when several rows share a year
+        (the population sampler numbers its legacy-tier pool).  The
+        ladder floor matches :meth:`YearMedians.device_spec`; the top is
+        clamped to at least 500 MHz so the eight rungs stay distinct for
+        the slowest synthesized clocks.
+        """
+        max_mhz = max(500, round(self.clock_ghz * 1000))
+        steps = 8
+        pitch = (max_mhz - 300) / (steps - 1)
+        ladder = tuple(round(300 + pitch * i) for i in range(steps))
+        ipc = year_medians(self.year).ipc
+        return DeviceSpec(
+            name=f"hist-{self.year}-{serial}",
+            soc=f"hist-soc-{self.year}",
+            clusters=(ClusterSpec(f"h{self.year}", self.cores, ladder,
+                                  ipc=ipc),),
+            memory_gb=self.memory_gb,
+            os_version=str(self.os_version),
+            gpu="hist",
+            release=str(self.year),
+            cost_usd=100,
+        )
+
 
 def generate_device_population(
     seed: int = 480, per_year: int = 60

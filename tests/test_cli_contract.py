@@ -1,0 +1,78 @@
+"""CLI surface contract: every subcommand behaves, README stays in sync.
+
+Three invariants over the whole command table:
+
+* ``--help`` exits 0 for every subcommand (argparse wiring intact);
+* an unknown flag exits 2 for every subcommand (one-line usage error,
+  never a traceback);
+* the README documents exactly the subcommands ``python -m repro list``
+  reports — both directions, so a new command cannot ship undocumented
+  and the README cannot advertise a command that does not exist.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def run_cli(argv):
+    """In-process CLI invocation; normalizes SystemExit to an exit code."""
+    try:
+        code = cli_main(list(argv))
+    except SystemExit as stop:
+        code = stop.code
+    return 0 if code is None else int(code)
+
+
+def subcommands(capsys) -> list[str]:
+    """The canonical command table, straight from ``python -m repro list``."""
+    assert run_cli(["list"]) == 0
+    return capsys.readouterr().out.split()
+
+
+def test_list_is_sorted_and_nonempty(capsys):
+    names = subcommands(capsys)
+    assert names == sorted(names)
+    assert "population" in names
+    assert "lint" in names
+
+
+def test_every_subcommand_help_exits_zero(capsys):
+    for name in subcommands(capsys):
+        assert run_cli([name, "--help"]) == 0, f"{name} --help"
+        out = capsys.readouterr().out
+        assert "usage" in out.lower(), f"{name} --help printed no usage"
+
+
+def test_every_subcommand_rejects_unknown_flag(capsys):
+    for name in subcommands(capsys):
+        assert run_cli([name, "--no-such-flag-xyz"]) == 2, \
+            f"{name} accepted an unknown flag"
+        capsys.readouterr()
+
+
+def test_readme_mentions_only_real_subcommands(capsys):
+    known = set(subcommands(capsys)) | {"list"}
+    mentioned = set(re.findall(r"python -m repro ([a-z0-9]+)",
+                               README.read_text(encoding="utf-8")))
+    unknown = mentioned - known
+    assert not unknown, f"README references nonexistent subcommands: {unknown}"
+
+
+def test_readme_documents_every_subcommand(capsys):
+    names = set(subcommands(capsys))
+    mentioned = set(re.findall(r"python -m repro ([a-z0-9]+)",
+                               README.read_text(encoding="utf-8")))
+    missing = names - mentioned
+    assert not missing, f"README is missing subcommands: {missing}"
+
+
+def test_unknown_subcommand_exits_two(capsys):
+    assert run_cli(["frobnicate"]) == 2

@@ -1,0 +1,120 @@
+"""Golden-shape regression suite for the paper's headline figures.
+
+EXPERIMENTS.md records the quantitative claims each figure reproduction
+makes (device orderings, slowdown factors, governor penalties).  These
+tests pin the *shape* of those claims at reduced scale — few pages, one
+trial — so a kernel or study regression that flattens a curve or flips
+an ordering fails tier-1 fast, without rerunning the full sweeps.
+
+Absolute values at this scale differ from the EXPERIMENTS.md tables
+(those run the paper's full corpus); the orderings and coarse factors
+asserted here are scale-invariant, which is what makes them stable
+golden shapes rather than brittle snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.studies import (
+    VideoStudy,
+    VideoStudyConfig,
+    WebStudy,
+    WebStudyConfig,
+)
+from repro.device.catalog import GIONEE_F103, GALAXY_S6_EDGE, INTEX_AMAZE, PIXEL2
+from repro.video import VideoSpec
+
+#: Four rungs of the Nexus 4 DVFS ladder (Fig 3a's x-axis, thinned).
+CLOCK_LADDER = (384, 702, 1026, 1512)
+
+
+@pytest.fixture(scope="module")
+def web_study() -> WebStudy:
+    """One shared corpus (one page per category) for the web shape checks."""
+    return WebStudy(WebStudyConfig(n_pages=5, trials=1))
+
+
+# -- Fig 2a: PLT across Table 1 devices -------------------------------------
+
+
+def test_fig2a_device_ordering(web_study):
+    """Low-end loads slower than mid-range, mid-range slower than flagship."""
+    by_name = {
+        spec.name: summary.mean
+        for spec, summary in web_study.qoe_across_devices(
+            (INTEX_AMAZE, GIONEE_F103, PIXEL2))
+    }
+    assert by_name[INTEX_AMAZE.name] > by_name[GIONEE_F103.name]
+    assert by_name[GIONEE_F103.name] > by_name[PIXEL2.name]
+
+
+def test_fig2a_low_end_factor(web_study):
+    """The Intex-to-Pixel2 gap stays severalfold (≈4× at full scale)."""
+    results = dict(
+        (spec.name, summary.mean)
+        for spec, summary in web_study.qoe_across_devices(
+            (INTEX_AMAZE, PIXEL2))
+    )
+    assert results[INTEX_AMAZE.name] >= 3.0 * results[PIXEL2.name]
+
+
+def test_fig2a_price_inversion(web_study):
+    """Pixel2 beats the pricier S6-edge (the paper's cost!=QoE point)."""
+    results = dict(
+        (spec.name, summary.mean)
+        for spec, summary in web_study.qoe_across_devices(
+            (GALAXY_S6_EDGE, PIXEL2))
+    )
+    assert results[PIXEL2.name] < results[GALAXY_S6_EDGE.name]
+    assert PIXEL2.cost_usd < GALAXY_S6_EDGE.cost_usd
+
+
+# -- Fig 3a: PLT vs CPU clock ------------------------------------------------
+
+
+def test_fig3a_clock_monotonicity(web_study):
+    """PLT falls monotonically as the pinned clock rises."""
+    points = web_study.plt_vs_clock(ladder=CLOCK_LADDER)
+    assert [p.clock_mhz for p in points] == list(CLOCK_LADDER)
+    means = [p.plt.mean for p in points]
+    assert all(earlier > later for earlier, later in zip(means, means[1:]))
+
+
+def test_fig3a_clock_factor(web_study):
+    """Bottom-to-top of the ladder costs at least 3× PLT (3.2× at scale)."""
+    points = web_study.plt_vs_clock(ladder=(CLOCK_LADDER[0],
+                                            CLOCK_LADDER[-1]))
+    slowest, fastest = points[0].plt.mean, points[-1].plt.mean
+    assert slowest >= 3.0 * fastest
+
+
+def test_fig3a_decomposition_shifts_to_compute(web_study):
+    """At the lowest clock the load is compute-bound, not network-bound."""
+    points = web_study.plt_vs_clock(ladder=(CLOCK_LADDER[0],
+                                            CLOCK_LADDER[-1]))
+    low = points[0]
+    assert low.compute_time.mean > low.network_time.mean
+
+
+# -- Fig 3d: PLT vs governor -------------------------------------------------
+
+
+def test_fig3d_powersave_penalty(web_study):
+    """Powersave pays a clear PLT penalty over ondemand (+42% at scale)."""
+    by_governor = dict(web_study.plt_vs_governor(governors=("OD", "PW")))
+    assert by_governor["PW"].mean >= 1.15 * by_governor["OD"].mean
+
+
+# -- Fig 2b: video startup across devices ------------------------------------
+
+
+def test_fig2b_startup_ordering():
+    """Start-up latency orders low-end > flagship, severalfold apart."""
+    study = VideoStudy(VideoStudyConfig(
+        clip=VideoSpec(duration_s=20.0), trials=1))
+    points = {
+        point.label: point.startup.mean
+        for point in study.qoe_across_devices((INTEX_AMAZE, PIXEL2))
+    }
+    assert points[INTEX_AMAZE.name] > 2.0 * points[PIXEL2.name]

@@ -288,8 +288,13 @@ def _robust_run_n(executor, trials: int, journal: Path):
 
 def test_runner_classifies_quarantined_trials(tmp_path):
     journal = tmp_path / "quarantine.json"
+    # Retries must outlast collateral: each of the poisoned trial's
+    # crashes breaks the pool, and under load an innocent co-resident
+    # trial can burn a retry per break.  With max_task_retries=3 the
+    # poisoned trial still exhausts its attempts (the plan faults every
+    # dispatch) while innocents survive the worst-case collateral.
     executor = ChaosExecutor(2, poison_plan(1, CHAOS_CRASH),
-                             max_task_retries=1, **FAST)
+                             max_task_retries=3, **FAST)
     runner = RobustTrialRunner(trials=4, experiment="qclass",
                                journal_path=journal, executor=executor)
     report = runner.run(seeded_value)

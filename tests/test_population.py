@@ -1,0 +1,420 @@
+"""Population fleet simulation: sampler, aggregator, and runner contracts.
+
+The load-bearing guarantees, in test order:
+
+* config validation rejects every malformed knob with a clear message;
+* the session sampler is a pure function of ``(config, index)``;
+* ``StreamingStat`` matches :func:`repro.analysis.stats.summarize` on
+  any ordering of any value stream (hypothesis), and Chan-merging
+  chunked accumulators matches one streaming pass;
+* aggregator histograms use the exact :mod:`repro.obs.metrics` snapshot
+  shape, so :func:`merge_snapshots` merges them unchanged;
+* the fleet runner's aggregate JSON is byte-identical across worker
+  counts, under injected chaos, and across cold/warm cache runs, while
+  its in-memory state stays O(tiers × metrics × buckets).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import cdf_points, summarize
+from repro.cache import TrialCache
+from repro.obs.metrics import merge_snapshots
+from repro.obs.runlog import RunLog
+from repro.parallel import get_executor
+from repro.parallel.chaos import (
+    CHAOS_CRASH,
+    ChaosExecutor,
+    ChaosFault,
+    ChaosPlan,
+)
+from repro.population import (
+    ALL_TIER,
+    DEFAULT_WORKLOAD_MIX,
+    FleetAggregator,
+    FleetRunner,
+    METRIC_BUCKETS,
+    PopulationConfig,
+    SessionSampler,
+    StreamingStat,
+    WORKLOAD_METRICS,
+    WORKLOADS,
+    default_market,
+)
+
+finite = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+streams = st.lists(finite, min_size=1, max_size=60)
+
+#: Small-but-real fleet shape shared by the runner tests.
+SMALL = dict(sessions=10, n_pages=2, video_s=8.0, call_s=5.0)
+
+
+def small_config(seed: int = 3) -> PopulationConfig:
+    return PopulationConfig(seed=seed, **SMALL)
+
+
+# -- config validation -------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", (
+    dict(sessions=0),
+    dict(seed=-1),
+    dict(n_pages=0),
+    dict(video_s=0.0),
+    dict(call_s=-1.0),
+    dict(tiers=()),
+    dict(workload_mix=()),
+    dict(workload_mix=(("web", 0.5), ("carrier-pigeon", 0.5))),
+    dict(workload_mix=(("web", 0.0),)),
+    dict(networks=()),
+))
+def test_config_rejects_malformed_knobs(kwargs):
+    with pytest.raises(ValueError):
+        PopulationConfig(**kwargs)
+
+
+def test_config_rejects_duplicate_tier_names():
+    tier = default_market()[0]
+    with pytest.raises(ValueError):
+        PopulationConfig(tiers=(tier, tier))
+
+
+def test_experiment_name_binds_the_seed():
+    assert PopulationConfig(seed=7).experiment == "population@7"
+
+
+def test_default_market_shape():
+    tiers = default_market()
+    assert [t.name for t in tiers] == ["low", "mid", "high", "legacy"]
+    assert all(t.share > 0 and t.devices for t in tiers)
+    assert ALL_TIER not in {t.name for t in tiers}
+
+
+# -- sampler ------------------------------------------------------------------
+
+
+def test_sampler_is_deterministic():
+    config = small_config()
+    first = [SessionSampler(config).sample(i) for i in range(config.sessions)]
+    second = [SessionSampler(config).sample(i) for i in range(config.sessions)]
+    assert first == second
+
+
+def test_sampler_draws_from_the_configured_market():
+    config = small_config()
+    tiers = {t.name: t for t in config.tiers}
+    networks = {n.name for n in config.networks}
+    for index in range(config.sessions):
+        spec = SessionSampler(config).sample(index)
+        assert spec.index == index
+        assert spec.workload in WORKLOADS
+        assert spec.network in networks
+        assert spec.device in tiers[spec.tier].devices
+        assert 0 <= spec.page_index < config.n_pages
+
+
+def test_sampler_seed_namespaces_are_per_workload():
+    config = small_config()
+    specs = [SessionSampler(config).sample(i) for i in range(config.sessions)]
+    # Sim seeds must be unique per session — shared seeds would correlate
+    # sessions that the model treats as independent users.
+    assert len({s.seed for s in specs}) == len(specs)
+
+
+def test_sampler_rejects_out_of_range_index():
+    sampler = SessionSampler(small_config())
+    with pytest.raises(ValueError):
+        sampler.sample(SMALL["sessions"])
+    with pytest.raises(ValueError):
+        sampler.sample(-1)
+
+
+def test_sampler_seed_changes_the_mix():
+    a = [SessionSampler(small_config(seed=1)).sample(i) for i in range(10)]
+    b = [SessionSampler(small_config(seed=2)).sample(i) for i in range(10)]
+    assert a != b
+
+
+# -- StreamingStat equivalence (hypothesis) -----------------------------------
+
+
+@given(streams, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_streaming_stat_matches_batch_summarize(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    stat = StreamingStat()
+    for value in shuffled:
+        stat.add(value)
+    batch = summarize(values)
+    assert stat.count == batch.n
+    assert stat.minimum == batch.minimum
+    assert stat.maximum == batch.maximum
+    assert math.isclose(stat.mean, batch.mean, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(stat.stdev, batch.stdev, rel_tol=1e-6, abs_tol=1e-9)
+
+
+@given(streams, st.integers(min_value=1, max_value=59))
+@settings(max_examples=100, deadline=None)
+def test_streaming_stat_chan_merge_matches_one_pass(values, split):
+    split = min(split, len(values))
+    left, right = StreamingStat(), StreamingStat()
+    for value in values[:split]:
+        left.add(value)
+    for value in values[split:]:
+        right.add(value)
+    left.merge(right)
+    batch = summarize(values)
+    assert left.count == batch.n
+    assert math.isclose(left.mean, batch.mean, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(left.stdev, batch.stdev, rel_tol=1e-6, abs_tol=1e-9)
+
+
+def test_streaming_stat_empty_stream_renders_zeros():
+    assert StreamingStat().as_dict() == {
+        "n": 0, "mean": 0.0, "stdev": 0.0, "min": 0.0, "max": 0.0}
+
+
+# -- aggregator ----------------------------------------------------------------
+
+
+def observe_values(aggregator: FleetAggregator, values, *, tier="mid",
+                   workload="web", metric="plt_s"):
+    for value in values:
+        aggregator.observe(tier=tier, workload=workload, network="wifi",
+                           status="ok", metrics={metric: value})
+
+
+@given(streams, st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_aggregator_series_matches_batch_summarize(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    aggregator = FleetAggregator()
+    observe_values(aggregator, shuffled)
+    entry = aggregator.snapshot()["series"]["web"]["plt_s"][ALL_TIER]
+    batch = summarize(values)
+    assert entry["n"] == batch.n
+    assert entry["min"] == batch.minimum
+    assert entry["max"] == batch.maximum
+    assert math.isclose(entry["mean"], batch.mean, rel_tol=1e-9, abs_tol=1e-9)
+    assert entry["hist"]["count"] == len(values)
+
+
+@given(streams, st.integers(min_value=1, max_value=59))
+@settings(max_examples=50, deadline=None)
+def test_aggregator_merge_matches_single_stream(values, split):
+    split = min(split, len(values))
+    whole, left, right = (FleetAggregator() for _ in range(3))
+    observe_values(whole, values)
+    observe_values(left, values[:split])
+    observe_values(right, values[split:])
+    left.merge(right)
+    whole_snap, merged_snap = whole.snapshot(), left.snapshot()
+    assert merged_snap["sessions"] == whole_snap["sessions"]
+    whole_entry = whole_snap["series"]["web"]["plt_s"][ALL_TIER]
+    merged_entry = merged_snap["series"]["web"]["plt_s"][ALL_TIER]
+    # Bucket populations are integer counts: chunked merging is exact.
+    # The histogram's running sum is a float accumulation, so chunk
+    # order can move it by an ulp — same tolerance as the mean.
+    assert merged_entry["hist"]["buckets"] == whole_entry["hist"]["buckets"]
+    assert merged_entry["hist"]["count"] == whole_entry["hist"]["count"]
+    assert math.isclose(merged_entry["hist"]["sum"],
+                        whole_entry["hist"]["sum"],
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(merged_entry["mean"], whole_entry["mean"],
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(streams, st.integers(min_value=1, max_value=59))
+@settings(max_examples=50, deadline=None)
+def test_aggregator_histograms_merge_via_merge_snapshots(values, split):
+    split = min(split, len(values))
+    whole, left, right = (FleetAggregator() for _ in range(3))
+    observe_values(whole, values)
+    observe_values(left, values[:split])
+    observe_values(right, values[split:])
+
+    def hist_snapshot(aggregator):
+        entry = aggregator.snapshot()["series"].get("web", {}).get(
+            "plt_s", {}).get(ALL_TIER)
+        return {} if entry is None else {"population.web.plt_s":
+                                         entry["hist"]}
+
+    merged = merge_snapshots([hist_snapshot(left), hist_snapshot(right)])
+    expected = hist_snapshot(whole)
+    assert set(merged) == set(expected)
+    for name, hist in expected.items():
+        assert merged[name]["buckets"] == hist["buckets"]
+        assert merged[name]["count"] == hist["count"]
+        assert math.isclose(merged[name]["sum"], hist["sum"],
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_aggregator_counts_failures_without_metrics():
+    aggregator = FleetAggregator()
+    aggregator.observe(tier="low", workload="web", network="lte",
+                       status="crash", metrics={})
+    aggregator.observe(tier="low", workload="web", network="lte",
+                       status="ok", metrics={"plt_s": 1.0})
+    snap = aggregator.snapshot()
+    assert snap["sessions"] == 2
+    assert snap["completed"] == 1
+    assert snap["failures"] == {"crash": 1}
+    assert snap["mix"]["tiers"] == {"low": 2}
+    assert snap["series"]["web"]["plt_s"][ALL_TIER]["n"] == 1
+
+
+def test_aggregator_rejects_unknown_metric():
+    with pytest.raises(ValueError):
+        FleetAggregator().observe(tier="low", workload="web", network="lte",
+                                  status="ok", metrics={"qoe_magic": 1.0})
+
+
+def test_workload_metric_tables_are_consistent():
+    assert set(WORKLOAD_METRICS) == set(WORKLOADS)
+    assert set(WORKLOADS) == {name for name, _ in DEFAULT_WORKLOAD_MIX}
+    for metrics in WORKLOAD_METRICS.values():
+        for metric in metrics:
+            bounds = METRIC_BUCKETS[metric]
+            assert list(bounds) == sorted(bounds)
+
+
+# -- fleet runner --------------------------------------------------------------
+
+
+def test_fleet_runner_small_run_accounts_for_every_session():
+    report = FleetRunner(small_config()).run()
+    assert report.sessions == SMALL["sessions"]
+    assert report.completed + sum(report.failures.values()) == report.sessions
+    mix = report.aggregate["mix"]
+    assert sum(mix["tiers"].values()) == report.sessions
+    assert sum(mix["workloads"].values()) == report.sessions
+    assert sum(mix["networks"].values()) == report.sessions
+
+
+def test_fleet_runner_emits_runlog_lifecycle(tmp_path):
+    path = tmp_path / "run.jsonl"
+    runlog = RunLog(path)
+    FleetRunner(small_config(), runlog=runlog).run()
+    runlog.close()
+    events = [json.loads(line) for line in
+              path.read_text().strip().splitlines()]
+    assert events[0]["event"] == "run_start"
+    assert events[0]["experiment"] == "population@3"
+    assert events[0]["trials"] == SMALL["sessions"]
+    assert events[-1]["event"] == "run_end"
+    completions = [e for e in events if e["event"] == "trial_complete"]
+    assert sorted(e["trial"] for e in completions) == \
+        list(range(SMALL["sessions"]))
+
+
+def test_fleet_runner_jobs2_aggregate_is_byte_identical():
+    serial = FleetRunner(small_config()).run().to_json()
+    parallel = FleetRunner(small_config(),
+                           executor=get_executor(2)).run().to_json()
+    assert parallel == serial
+
+
+def test_fleet_runner_chaos_crash_retry_is_byte_identical():
+    # Attempt-0 faults are retry-recoverable: the re-dispatched session
+    # recomputes the same pure function of its index.
+    serial = FleetRunner(small_config()).run().to_json()
+    plan = ChaosPlan(faults=(ChaosFault(index=1, kind=CHAOS_CRASH),))
+    executor = ChaosExecutor(2, plan, poll_interval_s=0.02)
+    chaotic = FleetRunner(small_config(), executor=executor).run()
+    assert chaotic.quarantined == 0
+    assert chaotic.to_json() == serial
+
+
+def test_fleet_runner_quarantine_keeps_accounting_complete():
+    # Faulting one session on every dispatch attempt exhausts its
+    # retries; the fleet absorbs it as a failure, never an exception.
+    # (Each crash also breaks the pool, so a co-resident session can
+    # burn retries as collateral — the count is >= 1, not == 1.)
+    plan = ChaosPlan(faults=tuple(
+        ChaosFault(index=2, kind=CHAOS_CRASH, attempt=a) for a in range(10)))
+    executor = ChaosExecutor(2, plan, poll_interval_s=0.02)
+    report = FleetRunner(small_config(), executor=executor).run()
+    assert report.quarantined >= 1
+    assert any(q.index == 2 for q in report.supervision.quarantined)
+    assert report.sessions == SMALL["sessions"]
+    assert report.completed + sum(report.failures.values()) == report.sessions
+    assert sum(report.aggregate["mix"]["tiers"].values()) == report.sessions
+
+
+def test_fleet_runner_warm_cache_replays_byte_identically(tmp_path):
+    cache = TrialCache(tmp_path / "cache")
+    cold = FleetRunner(small_config(), cache=cache).run().to_json()
+    warm_cache = TrialCache(tmp_path / "cache")
+    warm = FleetRunner(small_config(), cache=warm_cache).run().to_json()
+    assert warm == cold
+    assert warm_cache.stats.hits == SMALL["sessions"]
+    assert warm_cache.stats.misses == 0
+
+
+def test_aggregate_state_is_independent_of_session_count():
+    shapes = []
+    for sessions in (8, 16):
+        config = PopulationConfig(seed=3, sessions=sessions, n_pages=2,
+                                  video_s=8.0, call_s=5.0)
+        runner = FleetRunner(config)
+        aggregator = FleetAggregator()
+        sampler = SessionSampler(config)
+        from repro.population.fleet import run_session
+        for index in range(sessions):
+            result = run_session(config, runner.corpus,
+                                 sampler.sample(index))
+            aggregator.observe(tier=result.tier, workload=result.workload,
+                               network=result.network, status=result.status,
+                               metrics=result.metrics)
+        shapes.append(len(aggregator._series))
+    # Doubling the fleet grows counts, never the number of live series.
+    assert shapes[0] >= 1
+    assert shapes[1] <= len(WORKLOADS) * 2 * (len(default_market()) + 1)
+    assert abs(shapes[1] - shapes[0]) <= 4
+
+
+def test_report_quantiles_and_cdf_read_the_histograms():
+    report = FleetRunner(small_config()).run()
+    for workload, metrics in WORKLOAD_METRICS.items():
+        for metric in metrics:
+            entry = report.series(workload, metric).get(ALL_TIER)
+            if entry is None:
+                continue
+            points = report.cdf(workload, metric)
+            probs = [p for _, p in points]
+            assert probs == sorted(probs)
+            assert all(0.0 <= p <= 1.0 for p in probs)
+            p50 = report.quantile(workload, metric, 0.5)
+            p99 = report.quantile(workload, metric, 0.99)
+            assert p50 <= p99
+
+
+def test_histogram_cdf_matches_empirical_cdf_at_bucket_bounds():
+    values = [0.3, 0.7, 1.2, 1.2, 2.5, 9.0]
+    aggregator = FleetAggregator()
+    observe_values(aggregator, values)
+    entry = aggregator.snapshot()["series"]["web"]["plt_s"][ALL_TIER]
+    finite = sorted(float(label)
+                    for label in entry["hist"]["buckets"]
+                    if label != "+Inf")
+    empirical = cdf_points(values)
+
+    def empirical_at(bound: float) -> float:
+        best = 0.0
+        for value, prob in empirical:
+            if value <= bound:
+                best = prob
+        return best
+
+    cumulative = 0
+    for bound in finite:
+        cumulative += entry["hist"]["buckets"][f"{bound:g}"]
+        assert cumulative / len(values) == pytest.approx(empirical_at(bound))

@@ -1,0 +1,133 @@
+"""``python -m repro population``: validation, artifacts, determinism.
+
+Follows the conventions the other CLI tests pin: every bad flag is a
+one-line ``error: ...`` on stderr with exit 2, stdout is byte-identical
+across ``--jobs`` values, and artifacts/status lines go where the CI
+smoke steps expect them (files + stderr, never stdout).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.population.cli import main
+
+SMALL = ["--sessions", "6", "--pages", "2", "--video-s", "8", "--call-s", "5"]
+
+
+def run(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# -- validation ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("argv,fragment", (
+    (["--sessions", "0"], "--sessions"),
+    (["--sessions", "-3"], "--sessions"),
+    (["--seed", "-1"], "--seed"),
+    (["--jobs", "0"], "--jobs"),
+    (["--pages", "0"], "--pages"),
+    (["--video-s", "0"], "--video-s"),
+    (["--call-s", "-2"], "--call-s"),
+    (["--jobs", "2", "--task-timeout", "0"], "--task-timeout"),
+    (["--jobs", "2", "--max-task-retries", "-1"], "--max-task-retries"),
+    (["--task-timeout", "5"], "--jobs"),
+    (["--max-task-retries", "2"], "--jobs"),
+))
+def test_bad_flags_exit_two_with_one_line_error(argv, fragment, capsys):
+    code, out, err = run(argv, capsys)
+    assert code == 2
+    assert out == ""
+    assert err.startswith("error: ")
+    assert fragment in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as stop:
+        main(["--help"])
+    assert stop.value.code == 0
+    assert "--sessions" in capsys.readouterr().out
+
+
+# -- report output ------------------------------------------------------------
+
+
+def test_smoke_run_prints_report_and_writes_json(tmp_path, capsys):
+    out_json = tmp_path / "fleet.json"
+    code, out, err = run([*SMALL, "--seed", "5", "--json", str(out_json)],
+                         capsys)
+    assert code == 0
+    assert "population fleet report" in out
+    assert "population@5" in out
+    assert f"[wrote {out_json}]" in err
+    document = json.loads(out_json.read_text())
+    assert document["experiment"] == "population@5"
+    assert document["sessions"] == 6
+    assert document["aggregate"]["sessions"] == 6
+
+
+def test_html_artifact_is_self_contained(tmp_path, capsys):
+    out_html = tmp_path / "fleet.html"
+    code, out, err = run([*SMALL, "--html", str(out_html)], capsys)
+    assert code == 0
+    html = out_html.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "population fleet report" in html
+
+
+def test_stdout_is_byte_identical_across_jobs(tmp_path, capsys):
+    argv = [*SMALL, "--seed", "4"]
+    code, serial_out, _ = run([*argv, "--json", str(tmp_path / "s.json")],
+                              capsys)
+    assert code == 0
+    code, jobs_out, _ = run([*argv, "--jobs", "2",
+                             "--json", str(tmp_path / "p.json")], capsys)
+    assert code == 0
+    assert jobs_out == serial_out
+    assert (tmp_path / "p.json").read_bytes() == \
+        (tmp_path / "s.json").read_bytes()
+
+
+def test_progress_renders_on_stderr_only(capsys):
+    code, out, err = run([*SMALL, "--progress"], capsys)
+    assert code == 0
+    assert "population@0" in err
+    assert "trials" in err
+    assert "population fleet report" in out
+
+
+def test_runlog_records_the_fleet_lifecycle(tmp_path, capsys):
+    path = tmp_path / "run.jsonl"
+    code, _, _ = run([*SMALL, "--runlog", str(path)], capsys)
+    assert code == 0
+    events = [json.loads(line) for line in
+              path.read_text().strip().splitlines()]
+    assert events[0]["event"] == "run_start"
+    assert events[-1]["event"] == "run_end"
+    assert sum(e["event"] == "trial_complete" for e in events) == 6
+
+
+def test_cache_round_trip_is_all_hits_and_identical(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = [*SMALL, "--cache", cache_dir]
+    code, cold_out, cold_err = run(argv, capsys)
+    assert code == 0
+    assert "0 hits" in cold_err
+    code, warm_out, warm_err = run(argv, capsys)
+    assert code == 0
+    assert warm_out == cold_out
+    assert "6 hits, 0 misses" in warm_err
+
+
+def test_cache_env_var_is_picked_up(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "envcache"))
+    code, _, err = run(SMALL, capsys)
+    assert code == 0
+    assert "cache:" in err
+    assert (tmp_path / "envcache").is_dir()

@@ -1,0 +1,104 @@
+"""Property tests for :mod:`repro.analysis.stats` (hypothesis).
+
+The helpers feed every figure table and the population aggregator's
+equivalence contract, so their algebraic properties — bounds, order
+invariance, CDF monotonicity — are pinned over generated inputs rather
+than a handful of examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+samples = st.lists(finite, min_size=1, max_size=50)
+quantiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+@given(samples, quantiles)
+@settings(max_examples=100, deadline=None)
+def test_percentile_within_sample_bounds(values, q):
+    result = percentile(values, q)
+    assert min(values) <= result <= max(values)
+
+
+@given(samples, quantiles, quantiles)
+@settings(max_examples=100, deadline=None)
+def test_percentile_monotone_in_q(values, q1, q2):
+    lo, hi = sorted((q1, q2))
+    assert percentile(values, lo) <= percentile(values, hi)
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_percentile_endpoints_are_min_and_max(values):
+    assert percentile(values, 0.0) == min(values)
+    assert percentile(values, 100.0) == max(values)
+
+
+@pytest.mark.parametrize("bad_q", (-0.001, 100.001, 1e9, -1e9))
+@pytest.mark.parametrize("values", ([], [1.0, 2.0]))
+def test_percentile_rejects_out_of_range_q(values, bad_q):
+    # Regression: the bound check must fire even for an empty sample —
+    # percentile([], 200) used to answer 0.0 and hide the caller bug.
+    with pytest.raises(ValueError):
+        percentile(values, bad_q)
+
+
+@given(samples, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_mean_and_median_are_permutation_invariant(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    assert math.isclose(mean(shuffled), mean(values),
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert median(shuffled) == median(values)
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_stdev_nonnegative_and_zero_for_constant(values):
+    assert stdev(values) >= 0.0
+    # "Zero" up to rounding: mean([c]*n) can land an ulp away from c, so
+    # the spread of a constant sample is bounded by c's own granularity.
+    constant = values[0]
+    assert stdev([constant] * len(values)) <= 1e-9 * max(1.0, abs(constant))
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_summarize_is_consistent_with_the_helpers(values):
+    summary = summarize(values)
+    assert summary.n == len(values)
+    assert summary.minimum == min(values)
+    assert summary.maximum == max(values)
+    assert math.isclose(summary.mean, mean(values),
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(summary.stdev, stdev(values),
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_cdf_points_non_decreasing_and_ends_at_one(values):
+    points = cdf_points(values)
+    assert len(points) == len(values)
+    xs = [x for x, _ in points]
+    ps = [p for _, p in points]
+    assert xs == sorted(xs)
+    assert all(a <= b for a, b in zip(ps, ps[1:]))
+    assert ps[0] > 0.0
+    assert ps[-1] == pytest.approx(1.0)
